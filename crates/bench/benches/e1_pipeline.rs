@@ -1,0 +1,68 @@
+//! E1 (Fig. 1): kernels of the generative shared-object pipeline —
+//! schema parse, form derivation, fill+validate, index insert, XSLT view
+//! render, indexed query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use up2p_bench::{pattern_objects, pattern_repository};
+use up2p_core::{FormKind, FormModel};
+use up2p_sim::corpus::{pattern_values, GOF_PATTERNS};
+use up2p_store::Query;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_pipeline");
+
+    g.bench_function("schema_parse_fig3", |b| {
+        b.iter(|| up2p_schema::parse_schema_str(black_box(up2p_core::ROOT_SCHEMA_XSD)).unwrap())
+    });
+
+    let (community, objects) = pattern_objects();
+    g.bench_function("form_derive", |b| {
+        b.iter(|| FormModel::derive(black_box(&community), FormKind::Create))
+    });
+
+    let form = FormModel::derive(&community, FormKind::Create);
+    let values = pattern_values(&GOF_PATTERNS[18]); // Observer
+    g.bench_function("fill_and_validate", |b| {
+        b.iter(|| {
+            let doc = form.fill("pattern", black_box(&values)).unwrap();
+            community.validate(&doc).unwrap();
+            doc
+        })
+    });
+
+    let paths = community.indexed_paths();
+    g.bench_function("index_insert_23_objects", |b| {
+        b.iter(|| {
+            let mut repo = up2p_store::Repository::new();
+            for o in &objects {
+                repo.insert_doc(&community.id, o.doc.clone(), &paths);
+            }
+            repo.len()
+        })
+    });
+
+    g.bench_function("xslt_view_render", |b| {
+        b.iter(|| up2p_core::stylesheets::render_view(black_box(&objects[18].doc), None).unwrap())
+    });
+
+    let repo = pattern_repository(&paths);
+    let query = Query::any_keyword("factory");
+    g.bench_function("indexed_keyword_query", |b| {
+        b.iter(|| repo.search(None, black_box(&query)).len())
+    });
+
+    let cmip = "(&(category=behavioral)(intent~=algorithm))";
+    g.bench_function("cmip_parse_and_query", |b| {
+        b.iter(|| repo.search_cmip(None, black_box(cmip)).unwrap().len())
+    });
+
+    let xpath = "/pattern[category='behavioral']";
+    g.bench_function("xpath_query_per_document", |b| {
+        b.iter(|| repo.xpath_search(None, black_box(xpath)).unwrap().len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 (Fig. 2): interface generation vs schema size — the cost of
+//! deriving and rendering forms from schemas of growing width.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use up2p_core::{Community, FormKind, FormModel};
+use up2p_schema::{FieldKind, SchemaBuilder};
+
+fn schema_of_width(n: usize) -> (String, Community) {
+    let mut b = SchemaBuilder::new("object");
+    for i in 0..n {
+        let f = match i % 4 {
+            0 => FieldKind::text(format!("text{i}")).searchable(),
+            1 => FieldKind::integer(format!("num{i}")),
+            2 => FieldKind::enumeration(format!("enum{i}"), ["a", "b", "c"]).searchable(),
+            _ => FieldKind::uri(format!("uri{i}")),
+        };
+        b.field(f);
+    }
+    let xsd = b.to_xsd();
+    let community = Community::from_builder("gen", "d", "k", "c", "", &b).expect("valid");
+    (xsd, community)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_generation");
+    for &n in &[4usize, 16, 64] {
+        let (xsd, community) = schema_of_width(n);
+
+        g.bench_with_input(BenchmarkId::new("xsd_parse", n), &xsd, |b, xsd| {
+            b.iter(|| up2p_schema::parse_schema_str(black_box(xsd)).unwrap())
+        });
+
+        g.bench_with_input(BenchmarkId::new("form_derive", n), &community, |b, community| {
+            b.iter(|| FormModel::derive(black_box(community), FormKind::Create))
+        });
+
+        let form_doc = FormModel::derive(&community, FormKind::Create).to_document();
+        g.bench_with_input(BenchmarkId::new("form_render_html", n), &form_doc, |b, doc| {
+            b.iter(|| up2p_core::stylesheets::render_form(black_box(doc), None).unwrap())
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("index_xsl_generate_and_compile", n),
+            &community,
+            |b, community| {
+                b.iter(|| {
+                    let xsl = up2p_core::stylesheets::default_index_xsl(black_box(community));
+                    up2p_xslt::Stylesheet::parse(&xsl).unwrap().template_count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

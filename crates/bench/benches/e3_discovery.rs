@@ -1,0 +1,60 @@
+//! E3 (Fig. 3): one community-discovery query on each substrate, with
+//! 16 communities published into a 64-peer fabric.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use up2p_core::{Community, PayloadPlane, Servent};
+use up2p_net::{build_network, PeerId, PeerNetwork, ProtocolKind};
+use up2p_schema::{FieldKind, SchemaBuilder};
+use up2p_store::Query;
+
+struct Setup {
+    net: Box<dyn PeerNetwork + Send>,
+    seeker: Servent,
+}
+
+fn setup(kind: ProtocolKind) -> Setup {
+    let mut net = build_network(kind, 64, 42);
+    let mut plane = PayloadPlane::new();
+    for i in 0..16 {
+        let mut b = SchemaBuilder::new("item");
+        b.field(FieldKind::text("name").searchable());
+        let community = Community::from_builder(
+            &format!("community-{i}"),
+            &format!("resources about domain{i:03}"),
+            &format!("domain{i:03}"),
+            "generated",
+            kind.schema_value(),
+            &b,
+        )
+        .expect("valid");
+        let mut founder = Servent::new(PeerId((i * 3 + 1) as u32));
+        founder.publish_community(&mut *net, &mut plane, &community).expect("publish");
+    }
+    Setup { net, seeker: Servent::new(PeerId(60)) }
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_discovery");
+    for kind in [ProtocolKind::Napster, ProtocolKind::FastTrack, ProtocolKind::Gnutella] {
+        let mut s = setup(kind);
+        let query = Query::any_keyword("domain007");
+        g.bench_with_input(
+            BenchmarkId::new("discover_community", kind.schema_value()),
+            &query,
+            |b, query| {
+                b.iter(|| {
+                    let out = s
+                        .seeker
+                        .discover_communities(&mut *s.net, black_box(query))
+                        .unwrap();
+                    assert!(!out.hits.is_empty());
+                    out.messages
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

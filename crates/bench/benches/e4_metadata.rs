@@ -1,0 +1,39 @@
+//! E4 (§II): metadata search vs filename substring matching on the GoF
+//! corpus — the query-side cost of both methods (quality is reported by
+//! the scenario table; here we show metadata search is also *fast*).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use up2p_bench::pattern_repository;
+use up2p_sim::corpus::{pattern_filename, GOF_PATTERNS};
+use up2p_store::Query;
+
+fn bench_metadata_vs_filename(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_metadata");
+    let community = up2p_sim::corpus::pattern_community();
+    let repo = pattern_repository(&community.indexed_paths());
+    let filenames: Vec<String> = GOF_PATTERNS.iter().map(pattern_filename).collect();
+
+    let term = "interface";
+    g.bench_function("metadata_keyword_query", |b| {
+        b.iter(|| repo.search(None, black_box(&Query::any_keyword(term))).len())
+    });
+
+    g.bench_function("metadata_boolean_query", |b| {
+        let q = Query::and([Query::any_keyword("interface"), Query::eq("category", "creational")]);
+        b.iter(|| repo.search(None, black_box(&q)).len())
+    });
+
+    g.bench_function("filename_substring_scan", |b| {
+        b.iter(|| filenames.iter().filter(|f| f.contains(black_box(term))).count())
+    });
+
+    g.bench_function("wildcard_value_scan", |b| {
+        let q = up2p_store::parse_cmip("(intent=*object*)").unwrap();
+        b.iter(|| repo.search(None, black_box(&q)).len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_metadata_vs_filename);
+criterion_main!(benches);

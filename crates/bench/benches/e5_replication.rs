@@ -1,0 +1,47 @@
+//! E5 (§V): search cost under churn as replication varies — flooding
+//! substrate, liveness snapshot applied per batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use up2p_net::{churn, PeerId};
+use up2p_sim::{pattern_world, rng_for};
+use up2p_store::Query;
+
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_replication");
+    for &replicas in &[1usize, 4, 8] {
+        let (mut world, community) =
+            pattern_world(up2p_net::ProtocolKind::Gnutella, 64, replicas, 42);
+        let mut rng = rng_for(42, "bench-e5");
+        churn::apply_snapshot(&mut *world.net, 0.7, &[PeerId(0)], &mut rng);
+        let query = Query::keyword("name", "observer");
+        g.bench_with_input(
+            BenchmarkId::new("flood_search_a0.7", replicas),
+            &query,
+            |b, query| {
+                b.iter(|| {
+                    let out = world.search_from(0, &community, black_box(query));
+                    out.hits.len()
+                })
+            },
+        );
+        churn::revive_all(&mut *world.net);
+    }
+
+    // download+replicate round trip (the mechanism E5 relies on)
+    let (mut world, community) = pattern_world(up2p_net::ProtocolKind::Napster, 16, 1, 42);
+    g.bench_function("download_and_replicate", |b| {
+        b.iter(|| {
+            let out = world.search_from(3, &community, &Query::keyword("name", "observer"));
+            let hit = out.hits.first().expect("observer exists").clone();
+            let world_ref = &mut world;
+            let obj = world_ref.servents[3]
+                .download(&mut *world_ref.net, &mut world_ref.plane, &hit)
+                .expect("download");
+            black_box(obj.key)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E6 (§IV-B): the same search on all three substrates at 128 peers,
+//! plus the duplicate-suppression ablation and a TTL sweep point.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use up2p_core::{PayloadPlane, Servent};
+use up2p_net::{
+    ConstantLatency, FloodingConfig, FloodingNetwork, PeerId, ProtocolKind, Topology,
+};
+use up2p_sim::{pattern_world, rng_for, World};
+use up2p_store::Query;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_protocols");
+    let query = Query::keyword("name", "observer");
+
+    for kind in [ProtocolKind::Napster, ProtocolKind::FastTrack, ProtocolKind::Gnutella] {
+        let (mut world, community) = pattern_world(kind, 128, 2, 42);
+        g.bench_with_input(
+            BenchmarkId::new("search_128_peers", kind.schema_value()),
+            &query,
+            |b, query| {
+                b.iter(|| world.search_from(100, &community, black_box(query)).messages)
+            },
+        );
+    }
+
+    for dedup in [true, false] {
+        let topo = Topology::small_world(64, 3, 0.3, 42);
+        let net = FloodingNetwork::new(
+            topo,
+            Box::new(ConstantLatency(20_000)),
+            FloodingConfig { ttl: 5, dedup },
+        );
+        let community = up2p_sim::corpus::pattern_community();
+        let mut world = World {
+            net: Box::new(net),
+            plane: PayloadPlane::new(),
+            servents: (0..64).map(|i| Servent::new(PeerId(i as u32))).collect(),
+        };
+        world.join_all(&community);
+        let mut rng = rng_for(42, "bench-e6");
+        world.populate_patterns(&community, 1, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("flooding_dedup", dedup),
+            &query,
+            |b, query| {
+                b.iter(|| world.search_from(7, &community, black_box(query)).messages)
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

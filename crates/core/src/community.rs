@@ -1,0 +1,409 @@
+//! Communities: a schema plus stylesheets, *itself shareable as an
+//! object* (the paper's central idea).
+
+use crate::error::CoreError;
+use crate::root::{ROOT_COMMUNITY_ID, ROOT_SCHEMA_XSD};
+use up2p_schema::{parse_schema_str, Schema, SchemaBuilder};
+use up2p_store::ResourceId;
+use up2p_xml::{Document, ElementBuilder, NodeId};
+
+/// A resource-sharing community: identity, descriptive metadata, the
+/// shared-object schema, and optional custom stylesheets.
+///
+/// "In the context of U-P2P a community is defined by a schema and a set
+/// of stylesheets" (§IV-A). The descriptive fields mirror Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Stable identifier — the content hash of the community object in
+    /// the root community (or [`ROOT_COMMUNITY_ID`] for the root itself).
+    pub id: String,
+    /// Display name (`community/name`).
+    pub name: String,
+    /// Purpose description.
+    pub description: String,
+    /// Space-separated search keywords.
+    pub keywords: String,
+    /// Category label.
+    pub category: String,
+    /// Security note (paper: "not implemented today"; carried verbatim).
+    pub security: String,
+    /// Underlying protocol: `""`, `Napster`, `Gnutella` or `FastTrack`.
+    pub protocol: String,
+    /// The shared-object schema, as XSD text (travels with the community
+    /// object as an attachment).
+    pub schema_xsd: String,
+    /// The parsed schema.
+    pub schema: Schema,
+    /// Custom view stylesheet (XSLT text), `None` = default.
+    pub display_style: Option<String>,
+    /// Custom create-form stylesheet.
+    pub create_style: Option<String>,
+    /// Custom search-form stylesheet.
+    pub search_style: Option<String>,
+    /// Custom indexed-attribute filter stylesheet (Fig. 1's fourth
+    /// stylesheet).
+    pub index_style: Option<String>,
+}
+
+impl Community {
+    /// Creates a community from descriptive metadata and its schema text.
+    /// The id is derived from the community object's canonical XML, so
+    /// equal definitions get equal ids on every peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Schema`] when the XSD does not parse.
+    pub fn new(
+        name: &str,
+        description: &str,
+        keywords: &str,
+        category: &str,
+        protocol: &str,
+        schema_xsd: &str,
+    ) -> Result<Community, CoreError> {
+        let schema = parse_schema_str(schema_xsd)?;
+        let mut c = Community {
+            id: String::new(),
+            name: name.to_string(),
+            description: description.to_string(),
+            keywords: keywords.to_string(),
+            category: category.to_string(),
+            security: String::new(),
+            protocol: protocol.to_string(),
+            schema_xsd: schema_xsd.to_string(),
+            schema,
+            display_style: None,
+            create_style: None,
+            search_style: None,
+            index_style: None,
+        };
+        c.id = c.derive_id();
+        Ok(c)
+    }
+
+    /// Creates a community directly from a [`SchemaBuilder`] — the
+    /// paper's schema-generator tool flow: describe fields, get a
+    /// community.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Schema`] if the generated XSD fails to
+    /// re-parse (a builder bug; should not happen).
+    pub fn from_builder(
+        name: &str,
+        description: &str,
+        keywords: &str,
+        category: &str,
+        protocol: &str,
+        builder: &SchemaBuilder,
+    ) -> Result<Community, CoreError> {
+        Community::new(name, description, keywords, category, protocol, &builder.to_xsd())
+    }
+
+    /// The built-in root community (Fig. 3 schema, fixed id).
+    pub fn root() -> Community {
+        let schema = parse_schema_str(ROOT_SCHEMA_XSD)
+            .expect("the paper's Fig. 3 schema always parses");
+        Community {
+            id: ROOT_COMMUNITY_ID.to_string(),
+            name: "Root Community".to_string(),
+            description: "The community-sharing community that bootstraps U-P2P: \
+                          its objects describe other communities."
+                .to_string(),
+            keywords: "community discovery bootstrap metaclass".to_string(),
+            category: "meta".to_string(),
+            security: String::new(),
+            protocol: String::new(),
+            schema_xsd: ROOT_SCHEMA_XSD.to_string(),
+            schema,
+            display_style: None,
+            create_style: None,
+            search_style: None,
+            index_style: None,
+        }
+    }
+
+    /// Attaches a custom view stylesheet (re-deriving the identity: the
+    /// community object embeds stylesheet URIs).
+    pub fn with_display_style(mut self, xslt: impl Into<String>) -> Self {
+        self.display_style = Some(xslt.into());
+        self.id = self.derive_id();
+        self
+    }
+
+    /// Attaches a custom create-form stylesheet.
+    pub fn with_create_style(mut self, xslt: impl Into<String>) -> Self {
+        self.create_style = Some(xslt.into());
+        self.id = self.derive_id();
+        self
+    }
+
+    /// Attaches a custom search-form stylesheet.
+    pub fn with_search_style(mut self, xslt: impl Into<String>) -> Self {
+        self.search_style = Some(xslt.into());
+        self.id = self.derive_id();
+        self
+    }
+
+    /// Attaches a custom indexed-attribute filter stylesheet. The index
+    /// filter is servent-local (Fig. 3 has no field for it), so the
+    /// identity does not change.
+    pub fn with_index_style(mut self, xslt: impl Into<String>) -> Self {
+        self.index_style = Some(xslt.into());
+        self
+    }
+
+    /// The URI under which this community's schema travels as an
+    /// attachment of its community object.
+    pub fn schema_uri(&self) -> String {
+        format!("up2p:attachment:{}", ResourceId::for_bytes(self.schema_xsd.as_bytes()))
+    }
+
+    /// Renders this community as a community *object* conforming to the
+    /// root schema (Fig. 3) — the act that makes communities discoverable
+    /// like any other resource.
+    pub fn to_object(&self) -> Document {
+        let style_uri = |s: &Option<String>, kind: &str| match s {
+            Some(text) => {
+                format!("up2p:attachment:{}", ResourceId::for_bytes(text.as_bytes()))
+            }
+            None => format!("up2p:default:{kind}"),
+        };
+        ElementBuilder::new("community")
+            .child_text("name", self.name.clone())
+            .child_text("description", self.description.clone())
+            .child_text("keywords", self.keywords.clone())
+            .child_text("category", self.category.clone())
+            .child_text("security", self.security.clone())
+            .child_text("protocol", self.protocol.clone())
+            .child_text("schema", self.schema_uri())
+            .child_text("displaystyle", style_uri(&self.display_style, "display"))
+            .child_text("createstyle", style_uri(&self.create_style, "create"))
+            .child_text("searchstyle", style_uri(&self.search_style, "search"))
+            .build()
+    }
+
+    /// Reconstructs a community from a downloaded community object plus
+    /// its schema attachment — the "join" path of community discovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Xml`]/[`CoreError::Schema`] on malformed
+    /// pieces, [`CoreError::MissingField`] when the object lacks required
+    /// fields.
+    pub fn from_object(doc: &Document, schema_xsd: &str) -> Result<Community, CoreError> {
+        let root = doc
+            .document_element()
+            .ok_or_else(|| CoreError::MissingField("community".to_string()))?;
+        let text = |name: &str| -> Result<String, CoreError> {
+            doc.child_named(root, name)
+                .map(|n| doc.text_content(n))
+                .ok_or_else(|| CoreError::MissingField(name.to_string()))
+        };
+        let schema = parse_schema_str(schema_xsd)?;
+        // identity comes from the object document itself, so it matches
+        // the publisher's id regardless of which stylesheets this peer
+        // manages to resolve
+        let id = ResourceId::for_object(ROOT_COMMUNITY_ID, &doc.to_xml_string()).to_string();
+        Ok(Community {
+            id,
+            name: text("name")?,
+            description: text("description")?,
+            keywords: text("keywords")?,
+            category: text("category")?,
+            security: text("security")?,
+            protocol: text("protocol")?,
+            schema_xsd: schema_xsd.to_string(),
+            schema,
+            display_style: None,
+            create_style: None,
+            search_style: None,
+            index_style: None,
+        })
+    }
+
+    /// Like [`Community::from_object`], additionally resolving custom
+    /// stylesheets from downloaded attachments by their content URIs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Community::from_object`].
+    pub fn from_object_with_attachments(
+        doc: &Document,
+        schema_xsd: &str,
+        attachments: &[(String, String)],
+    ) -> Result<Community, CoreError> {
+        let mut c = Community::from_object(doc, schema_xsd)?;
+        let root = doc
+            .document_element()
+            .ok_or_else(|| CoreError::MissingField("community".to_string()))?;
+        let resolve = |field: &str| -> Option<String> {
+            let uri = doc.child_named(root, field).map(|n| doc.text_content(n))?;
+            if !uri.starts_with("up2p:attachment:") {
+                return None;
+            }
+            attachments.iter().find(|(u, _)| u == &uri).map(|(_, text)| text.clone())
+        };
+        c.display_style = resolve("displaystyle");
+        c.create_style = resolve("createstyle");
+        c.search_style = resolve("searchstyle");
+        Ok(c)
+    }
+
+    fn derive_id(&self) -> String {
+        ResourceId::for_object(ROOT_COMMUNITY_ID, &self.to_object().to_xml_string()).to_string()
+    }
+
+    /// The root element name instances of this community use.
+    pub fn object_root_name(&self) -> &str {
+        self.schema.root_element().map(|e| e.name.as_str()).unwrap_or("object")
+    }
+
+    /// Validates an instance document against the community schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Validation`] listing every problem.
+    pub fn validate(&self, doc: &Document) -> Result<(), CoreError> {
+        up2p_schema::Validator::new(&self.schema)
+            .validate(doc)
+            .map_err(CoreError::Validation)
+    }
+
+    /// Field paths this community indexes (searchable fields, honoring
+    /// the schema's markers with the textual-leaf default).
+    pub fn indexed_paths(&self) -> Vec<String> {
+        up2p_schema::searchable_fields(&self.schema).into_iter().map(|f| f.path).collect()
+    }
+
+    /// Attachment field paths of the community schema.
+    pub fn attachment_paths(&self) -> Vec<String> {
+        up2p_schema::attachment_fields(&self.schema).into_iter().map(|f| f.path).collect()
+    }
+
+    /// Finds the element holding an attachment URI inside an instance.
+    pub fn attachment_nodes(&self, doc: &Document) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for path in self.attachment_paths() {
+            if let Ok(xp) = up2p_xml::XPath::parse(&format!("/{path}")) {
+                if let Ok(nodes) = xp.select_nodes(doc, doc.root()) {
+                    out.extend(nodes);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up2p_schema::{FieldKind, Validator};
+
+    fn song_builder() -> SchemaBuilder {
+        let mut b = SchemaBuilder::new("song");
+        b.field(FieldKind::text("title").searchable())
+            .field(FieldKind::text("artist").searchable())
+            .field(FieldKind::uri("audio").attachment());
+        b
+    }
+
+    #[test]
+    fn community_ids_are_deterministic() {
+        let a = Community::from_builder("mp3", "songs", "music", "audio", "Gnutella", &song_builder())
+            .unwrap();
+        let b = Community::from_builder("mp3", "songs", "music", "audio", "Gnutella", &song_builder())
+            .unwrap();
+        assert_eq!(a.id, b.id);
+        let c = Community::from_builder("cml", "songs", "music", "audio", "Gnutella", &song_builder())
+            .unwrap();
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn community_object_validates_against_root_schema() {
+        let c = Community::from_builder("mp3", "songs", "music", "audio", "Gnutella", &song_builder())
+            .unwrap();
+        let obj = c.to_object();
+        let root = Community::root();
+        Validator::new(&root.schema).validate(&obj).unwrap();
+    }
+
+    #[test]
+    fn community_round_trips_through_its_object() {
+        let original =
+            Community::from_builder("mp3", "songs", "music jazz", "audio", "FastTrack", &song_builder())
+                .unwrap();
+        let obj = original.to_object();
+        let rebuilt = Community::from_object(&obj, &original.schema_xsd).unwrap();
+        assert_eq!(rebuilt.id, original.id, "same object + schema = same identity");
+        assert_eq!(rebuilt.name, "mp3");
+        assert_eq!(rebuilt.protocol, "FastTrack");
+        assert_eq!(rebuilt.keywords, "music jazz");
+    }
+
+    #[test]
+    fn root_community_is_fixed() {
+        let r = Community::root();
+        assert_eq!(r.id, ROOT_COMMUNITY_ID);
+        assert_eq!(r.object_root_name(), "community");
+        // root community indexes its descriptive fields
+        let paths = r.indexed_paths();
+        assert!(paths.contains(&"community/name".to_string()));
+        assert!(paths.contains(&"community/keywords".to_string()));
+    }
+
+    #[test]
+    fn invalid_schema_rejected() {
+        assert!(matches!(
+            Community::new("x", "d", "k", "c", "", "<notaschema/>"),
+            Err(CoreError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn validate_delegates_to_schema() {
+        let c = Community::from_builder("mp3", "d", "k", "c", "", &song_builder()).unwrap();
+        let good = Document::parse(
+            "<song><title>t</title><artist>a</artist><audio>u</audio></song>",
+        )
+        .unwrap();
+        assert!(c.validate(&good).is_ok());
+        let bad = Document::parse("<song><title>t</title></song>").unwrap();
+        assert!(matches!(c.validate(&bad), Err(CoreError::Validation(_))));
+    }
+
+    #[test]
+    fn indexed_and_attachment_paths() {
+        let c = Community::from_builder("mp3", "d", "k", "c", "", &song_builder()).unwrap();
+        assert_eq!(c.indexed_paths(), vec!["song/title", "song/artist"]);
+        assert_eq!(c.attachment_paths(), vec!["song/audio"]);
+        let doc = Document::parse(
+            "<song><title>t</title><artist>a</artist><audio>up2p:attachment:abc</audio></song>",
+        )
+        .unwrap();
+        assert_eq!(c.attachment_nodes(&doc).len(), 1);
+    }
+
+    #[test]
+    fn custom_stylesheets_change_object_uris() {
+        let base = Community::from_builder("mp3", "d", "k", "c", "", &song_builder()).unwrap();
+        let styled = Community::from_builder("mp3", "d", "k", "c", "", &song_builder())
+            .unwrap()
+            .with_display_style("<xsl:stylesheet/>");
+        let base_obj = base.to_object();
+        let styled_obj = styled.to_object();
+        assert_ne!(base_obj.to_xml_string(), styled_obj.to_xml_string());
+        assert!(base_obj.to_xml_string().contains("up2p:default:display"));
+        assert!(styled_obj.to_xml_string().contains("up2p:attachment:"));
+    }
+
+    #[test]
+    fn missing_fields_detected_on_join() {
+        let doc = Document::parse("<community><name>x</name></community>").unwrap();
+        assert!(matches!(
+            Community::from_object(&doc, ROOT_SCHEMA_XSD),
+            Err(CoreError::MissingField(_))
+        ));
+    }
+}

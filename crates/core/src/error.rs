@@ -1,0 +1,117 @@
+//! Unified error type for the U-P2P framework.
+
+use std::fmt;
+use up2p_schema::ValidationError;
+
+/// Error produced by servent operations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The servent has not joined a community with this id.
+    UnknownCommunity(String),
+    /// An object failed schema validation (all problems listed).
+    Validation(Vec<ValidationError>),
+    /// A community schema could not be parsed.
+    Schema(up2p_schema::ParseSchemaError),
+    /// A stylesheet failed to compile or apply.
+    Stylesheet(up2p_xslt::XsltError),
+    /// Object XML was malformed.
+    Xml(up2p_xml::ParseXmlError),
+    /// The local repository failed.
+    Store(up2p_store::StoreError),
+    /// A required form field was not supplied.
+    MissingField(String),
+    /// A referenced object/attachment is not available anywhere reachable.
+    Unavailable(String),
+    /// A downloaded payload did not hash to the requested key.
+    IntegrityFailure {
+        /// Key that was requested.
+        expected: String,
+        /// Key the payload actually hashed to.
+        actual: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownCommunity(id) => write!(f, "not a member of community {id}"),
+            CoreError::Validation(errs) => {
+                write!(f, "object failed validation ({} problem(s)): ", errs.len())?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            CoreError::Schema(e) => write!(f, "{e}"),
+            CoreError::Stylesheet(e) => write!(f, "{e}"),
+            CoreError::Xml(e) => write!(f, "invalid object XML: {e}"),
+            CoreError::Store(e) => write!(f, "{e}"),
+            CoreError::MissingField(name) => write!(f, "missing required field {name:?}"),
+            CoreError::Unavailable(what) => write!(f, "{what} is not available from any peer"),
+            CoreError::IntegrityFailure { expected, actual } => {
+                write!(f, "payload hash mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Schema(e) => Some(e),
+            CoreError::Stylesheet(e) => Some(e),
+            CoreError::Xml(e) => Some(e),
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<up2p_schema::ParseSchemaError> for CoreError {
+    fn from(e: up2p_schema::ParseSchemaError) -> Self {
+        CoreError::Schema(e)
+    }
+}
+
+impl From<up2p_xslt::XsltError> for CoreError {
+    fn from(e: up2p_xslt::XsltError) -> Self {
+        CoreError::Stylesheet(e)
+    }
+}
+
+impl From<up2p_xml::ParseXmlError> for CoreError {
+    fn from(e: up2p_xml::ParseXmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<up2p_store::StoreError> for CoreError {
+    fn from(e: up2p_store::StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            CoreError::UnknownCommunity("x".into()).to_string(),
+            "not a member of community x"
+        );
+        assert!(CoreError::MissingField("name".into()).to_string().contains("name"));
+        let e = CoreError::IntegrityFailure { expected: "aa".into(), actual: "bb".into() };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,90 @@
+//! The Root Community bootstrap — Fig. 3 of the paper, verbatim.
+//!
+//! "U-P2P provides one default schema as a bootstrap: a schema for
+//! community objects. Thus through the same facility, users can search for
+//! objects within a community or search for a community itself." (§IV-A)
+//!
+//! Every servent is a member of the root community from birth; community
+//! objects validated against this schema are the paper's metaclass trick:
+//! *community is to mp3-community as metaclass is to class*.
+
+/// Identifier of the root (community-sharing) community. Not itself an
+/// object — it is the fixed point that ends the metaclass regress.
+pub const ROOT_COMMUNITY_ID: &str = "up2p:root";
+
+/// The community schema exactly as printed in Fig. 3 of the paper.
+pub const ROOT_SCHEMA_XSD: &str = r#"<?xml version="1.0"?>
+<schema xmlns="http://www.w3.org/2001/XMLSchema">
+ <element name="community">
+  <complexType>
+   <sequence>
+    <element name="name" type="xsd:string"/>
+    <element name="description" type="xsd:string"/>
+    <element name="keywords" type="xsd:string"/>
+    <element name="category" type="xsd:string"/>
+    <element name="security" type="xsd:string"/>
+    <element name="protocol" type="protocolTypes"/>
+    <element name="schema" type="xsd:anyURI"/>
+    <element name="displaystyle" type="xsd:anyURI"/>
+    <element name="createstyle" type="xsd:anyURI"/>
+    <element name="searchstyle" type="xsd:anyURI"/>
+   </sequence>
+  </complexType>
+ </element>
+ <simpleType name="protocolTypes">
+  <restriction base="string">
+   <enumeration value=""/>
+   <enumeration value="Napster"/>
+   <enumeration value="Gnutella"/>
+   <enumeration value="FastTrack"/>
+  </restriction>
+ </simpleType>
+</schema>"#;
+
+/// Field paths of the community schema, in schema order.
+pub const COMMUNITY_FIELDS: [&str; 10] = [
+    "community/name",
+    "community/description",
+    "community/keywords",
+    "community/category",
+    "community/security",
+    "community/protocol",
+    "community/schema",
+    "community/displaystyle",
+    "community/createstyle",
+    "community/searchstyle",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up2p_schema::{parse_schema_str, searchable_fields};
+
+    #[test]
+    fn root_schema_parses_and_has_ten_fields() {
+        let schema = parse_schema_str(ROOT_SCHEMA_XSD).unwrap();
+        assert_eq!(schema.root_element().unwrap().name, "community");
+        let leaves = up2p_schema::leaf_fields(&schema);
+        assert_eq!(leaves.len(), 10);
+        let paths: Vec<&str> = leaves.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, COMMUNITY_FIELDS.to_vec());
+    }
+
+    #[test]
+    fn root_schema_searchable_fields_are_the_descriptive_ones() {
+        let schema = parse_schema_str(ROOT_SCHEMA_XSD).unwrap();
+        let names: Vec<String> =
+            searchable_fields(&schema).into_iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec!["name", "description", "keywords", "category", "security", "protocol"]
+        );
+    }
+
+    #[test]
+    fn protocol_enumeration_matches_paper() {
+        let schema = parse_schema_str(ROOT_SCHEMA_XSD).unwrap();
+        let proto = schema.simple_type("protocolTypes").unwrap();
+        assert_eq!(proto.facets.enumeration, vec!["", "Napster", "Gnutella", "FastTrack"]);
+    }
+}

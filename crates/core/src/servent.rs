@@ -1,0 +1,784 @@
+//! The U-P2P servent: create / search / view over any [`PeerNetwork`].
+//!
+//! One servent per peer. It owns the peer's local repository and joined
+//! communities; network and payload plane are passed in per call so many
+//! servents can share one simulated fabric.
+
+use crate::community::Community;
+use crate::error::CoreError;
+use crate::forms::{FormKind, FormModel};
+use crate::object::{Attachment, SharedObject};
+use crate::payload::PayloadPlane;
+use crate::root::ROOT_COMMUNITY_ID;
+use crate::stylesheets;
+use std::collections::HashMap;
+use up2p_net::{PeerId, PeerNetwork, ResourceRecord, RetrieveOutcome, SearchHit, SearchOutcome};
+use up2p_store::{Query, Repository};
+
+/// A U-P2P peer: local repository, joined communities, and the paper's
+/// create/search/view functions.
+///
+/// Every servent is born a member of the Root Community and can therefore
+/// discover and join further communities over the network (§IV-A).
+#[derive(Debug)]
+pub struct Servent {
+    peer: PeerId,
+    repository: Repository,
+    communities: HashMap<String, Community>,
+    /// Re-share downloaded objects (Napster-style replication, on by
+    /// default; experiment E5's control knob).
+    pub share_downloads: bool,
+}
+
+impl Servent {
+    /// Creates a servent for `peer`, joined to the root community.
+    pub fn new(peer: PeerId) -> Servent {
+        let mut communities = HashMap::new();
+        let root = Community::root();
+        communities.insert(root.id.clone(), root);
+        Servent { peer, repository: Repository::new(), communities, share_downloads: true }
+    }
+
+    /// The peer this servent runs on.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The local repository (objects this peer shares or downloaded).
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Joined communities, root included.
+    pub fn communities(&self) -> impl Iterator<Item = &Community> {
+        self.communities.values()
+    }
+
+    /// Looks up a joined community.
+    pub fn community(&self, id: &str) -> Option<&Community> {
+        self.communities.get(id)
+    }
+
+    fn community_or_err(&self, id: &str) -> Result<&Community, CoreError> {
+        self.communities.get(id).ok_or_else(|| CoreError::UnknownCommunity(id.to_string()))
+    }
+
+    /// Joins a community whose definition is already at hand (local
+    /// creation; the network path is [`Servent::join_from_hit`]).
+    pub fn join(&mut self, community: Community) -> &Community {
+        let id = community.id.clone();
+        self.communities.entry(id).or_insert(community)
+    }
+
+    /// Leaves a community (the root community cannot be left).
+    pub fn leave(&mut self, id: &str) -> bool {
+        if id == ROOT_COMMUNITY_ID {
+            return false;
+        }
+        self.communities.remove(id).is_some()
+    }
+
+    // -----------------------------------------------------------------
+    // Create function (§IV-C1)
+    // -----------------------------------------------------------------
+
+    /// Creates a shared object from form values, validating against the
+    /// community schema.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommunity`], [`CoreError::MissingField`] or
+    /// [`CoreError::Validation`].
+    pub fn create_object(
+        &self,
+        community_id: &str,
+        values: &[(&str, &str)],
+    ) -> Result<SharedObject, CoreError> {
+        self.create_object_with_attachments(community_id, values, Vec::new())
+    }
+
+    /// Creates a shared object carrying attachments. Attachment URIs are
+    /// substituted into the schema's attachment fields automatically when
+    /// the caller passes the field value `"@<attachment-index>"`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Servent::create_object`].
+    pub fn create_object_with_attachments(
+        &self,
+        community_id: &str,
+        values: &[(&str, &str)],
+        attachments: Vec<Attachment>,
+    ) -> Result<SharedObject, CoreError> {
+        let community = self.community_or_err(community_id)?;
+        let form = FormModel::derive(community, FormKind::Create);
+        // resolve "@N" placeholders to attachment URIs
+        let resolved: Vec<(&str, String)> = values
+            .iter()
+            .map(|(k, v)| {
+                let value = if let Some(idx) = v.strip_prefix('@') {
+                    idx.parse::<usize>()
+                        .ok()
+                        .and_then(|i| attachments.get(i))
+                        .map(|a| a.uri.clone())
+                        .unwrap_or_else(|| (*v).to_string())
+                } else {
+                    (*v).to_string()
+                };
+                (*k, value)
+            })
+            .collect();
+        let borrowed: Vec<(&str, &str)> =
+            resolved.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let doc = form.fill(community.object_root_name(), &borrowed)?;
+        community.validate(&doc)?;
+        Ok(SharedObject::new(community_id, doc, attachments))
+    }
+
+    /// Stores an object locally and announces it on the network
+    /// (publish ≈ the paper's create primitive reaching the P2P layer).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommunity`] when the servent is not a member.
+    pub fn publish(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        plane: &mut PayloadPlane,
+        object: &SharedObject,
+    ) -> Result<String, CoreError> {
+        let community = self.community_or_err(&object.community_id)?;
+        let fields = self.index_fields(community, object)?;
+        self.repository.insert_with_fields(
+            &object.community_id,
+            object.doc.clone(),
+            fields.clone(),
+        );
+        plane.put(object);
+        net.publish(
+            self.peer,
+            ResourceRecord {
+                key: object.key.clone(),
+                community: object.community_id.clone(),
+                fields,
+            },
+        );
+        Ok(object.key.clone())
+    }
+
+    /// Extracts the metadata fields to index for an object, using the
+    /// community's custom indexer stylesheet when present, else native
+    /// extraction of the searchable paths.
+    fn index_fields(
+        &self,
+        community: &Community,
+        object: &SharedObject,
+    ) -> Result<Vec<(String, String)>, CoreError> {
+        match &community.index_style {
+            Some(xslt) => stylesheets::apply_index_style(xslt, &object.doc),
+            None => Ok(Repository::extract_fields(&object.doc, &community.indexed_paths())),
+        }
+    }
+
+    /// Publishes a *community* into the root community — the metaclass
+    /// move that makes it discoverable. The community object travels with
+    /// its schema (and any custom stylesheets) as attachments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`Servent::publish`].
+    pub fn publish_community(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        plane: &mut PayloadPlane,
+        community: &Community,
+    ) -> Result<String, CoreError> {
+        self.join(community.clone());
+        let mut attachments =
+            vec![Attachment::from_bytes(community.schema_xsd.clone().into_bytes())];
+        for style in [
+            &community.display_style,
+            &community.create_style,
+            &community.search_style,
+            &community.index_style,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            attachments.push(Attachment::from_bytes(style.clone().into_bytes()));
+        }
+        let object =
+            SharedObject::new(ROOT_COMMUNITY_ID, community.to_object(), attachments);
+        self.publish(net, plane, &object)
+    }
+
+    // -----------------------------------------------------------------
+    // Search function (§IV-C2)
+    // -----------------------------------------------------------------
+
+    /// Searches a community over the network. Local repository results
+    /// are not duplicated — the network layer already reports the
+    /// servent's own shared objects as hops-0 hits where applicable.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommunity`] when not a member (the paper: "a
+    /// user must join a community … in order to conduct searches in that
+    /// community").
+    pub fn search(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        community_id: &str,
+        query: &Query,
+    ) -> Result<SearchOutcome, CoreError> {
+        self.community_or_err(community_id)?;
+        Ok(net.search(self.peer, community_id, query))
+    }
+
+    /// Searches with a CMIP-style filter string (the paper's query
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// Adds [`CoreError::Store`] for malformed filters.
+    pub fn search_cmip(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        community_id: &str,
+        filter: &str,
+    ) -> Result<SearchOutcome, CoreError> {
+        let query = up2p_store::parse_cmip(filter)?;
+        self.search(net, community_id, &query)
+    }
+
+    /// Community discovery: searches the root community for community
+    /// objects (§IV-A — "through the same facility, users can search for
+    /// objects within a community or search for a community itself").
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`Servent::search`].
+    pub fn discover_communities(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        query: &Query,
+    ) -> Result<SearchOutcome, CoreError> {
+        self.search(net, ROOT_COMMUNITY_ID, query)
+    }
+
+    // -----------------------------------------------------------------
+    // Download / retrieve (§IV-C2 end)
+    // -----------------------------------------------------------------
+
+    /// Downloads the object behind a search hit: retrieves it (and its
+    /// attachments) from the providing peer, stores it locally, and — per
+    /// the replication behavior that made Napster robust (§II) — shares
+    /// it onward unless [`Servent::share_downloads`] is off.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unavailable`] when the provider is gone,
+    /// [`CoreError::IntegrityFailure`] on hash mismatch.
+    pub fn download(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        plane: &mut PayloadPlane,
+        hit: &SearchHit,
+    ) -> Result<SharedObject, CoreError> {
+        match net.retrieve(self.peer, hit.provider, &hit.key) {
+            RetrieveOutcome::Unavailable => {
+                Err(CoreError::Unavailable(format!("object {} at {}", hit.key, hit.provider)))
+            }
+            RetrieveOutcome::Fetched { .. } => {
+                let object = plane.fetch(&hit.key)?;
+                if self.communities.contains_key(&object.community_id) {
+                    if self.share_downloads {
+                        self.publish(net, plane, &object)?;
+                    } else {
+                        let community = self.community_or_err(&object.community_id)?;
+                        let fields = self.index_fields(community, &object)?;
+                        self.repository.insert_with_fields(
+                            &object.community_id,
+                            object.doc.clone(),
+                            fields,
+                        );
+                    }
+                }
+                Ok(object)
+            }
+        }
+    }
+
+    /// Discovers, downloads and joins a community from a root-community
+    /// search hit: fetches the community object plus its schema
+    /// attachment and becomes a member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates download errors; [`CoreError::Unavailable`] when the
+    /// schema attachment is missing.
+    pub fn join_from_hit(
+        &mut self,
+        net: &mut dyn PeerNetwork,
+        plane: &mut PayloadPlane,
+        hit: &SearchHit,
+    ) -> Result<String, CoreError> {
+        let object = self.download(net, plane, hit)?;
+        let schema_att = object
+            .attachments
+            .first()
+            .ok_or_else(|| CoreError::Unavailable("community schema attachment".into()))?;
+        let xsd = String::from_utf8_lossy(&schema_att.data).into_owned();
+        // custom stylesheets travel as further attachments, matched to the
+        // object's style URIs by content hash
+        let atts: Vec<(String, String)> = object
+            .attachments
+            .iter()
+            .map(|a| (a.uri.clone(), String::from_utf8_lossy(&a.data).into_owned()))
+            .collect();
+        let community = Community::from_object_with_attachments(&object.doc, &xsd, &atts)?;
+        let id = community.id.clone();
+        self.join(community);
+        Ok(id)
+    }
+
+    // -----------------------------------------------------------------
+    // View function (§IV-C3) and generated interfaces
+    // -----------------------------------------------------------------
+
+    /// HTML create form for a community (generated from its schema via
+    /// the community's create stylesheet or the default).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommunity`] or stylesheet failures.
+    pub fn create_form_html(&self, community_id: &str) -> Result<String, CoreError> {
+        let community = self.community_or_err(community_id)?;
+        let doc = FormModel::derive(community, FormKind::Create).to_document();
+        stylesheets::render_form(&doc, community.create_style.as_deref())
+    }
+
+    /// HTML search form for a community (searchable fields only).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Servent::create_form_html`].
+    pub fn search_form_html(&self, community_id: &str) -> Result<String, CoreError> {
+        let community = self.community_or_err(community_id)?;
+        let doc = FormModel::derive(community, FormKind::Search).to_document();
+        stylesheets::render_form(&doc, community.search_style.as_deref())
+    }
+
+    /// HTML view of an object via the community's display stylesheet (or
+    /// the default).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownCommunity`] or stylesheet failures.
+    pub fn view_html(&self, object: &SharedObject) -> Result<String, CoreError> {
+        let community = self.community_or_err(&object.community_id)?;
+        stylesheets::render_view(&object.doc, community.display_style.as_deref())
+    }
+
+    /// Objects of a community in the local repository (shared or
+    /// downloaded) — the paper's browse view.
+    pub fn local_objects(&self, community_id: &str) -> Vec<&up2p_store::StoredObject> {
+        self.repository.search(Some(community_id), &Query::All)
+    }
+
+    // -----------------------------------------------------------------
+    // Persistence: a servent survives restarts
+    // -----------------------------------------------------------------
+
+    /// Persists the servent's state (joined communities with their
+    /// schemas and stylesheets, plus the local repository) under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] on I/O failures.
+    pub fn save_state(&self, dir: &std::path::Path) -> Result<(), CoreError> {
+        use up2p_xml::ElementBuilder;
+        self.repository.save_dir(&dir.join("repository"))?;
+        let cdir = dir.join("communities");
+        std::fs::create_dir_all(&cdir).map_err(up2p_store::StoreError::from)?;
+        for community in self.communities.values() {
+            if community.id == ROOT_COMMUNITY_ID {
+                continue; // rebuilt on load
+            }
+            let mut wrapper = ElementBuilder::new("saved-community")
+                .child_text("schema-xsd", community.schema_xsd.clone());
+            for (kind, style) in [
+                ("display", &community.display_style),
+                ("create", &community.create_style),
+                ("search", &community.search_style),
+                ("index", &community.index_style),
+            ] {
+                if let Some(text) = style {
+                    wrapper = wrapper.child(
+                        ElementBuilder::new("style").attr("kind", kind).text(text.clone()),
+                    );
+                }
+            }
+            let mut doc = wrapper.build();
+            let root = doc.document_element().expect("wrapper has a root");
+            let holder = doc.create_element("object".into());
+            doc.append_child(root, holder);
+            let obj = community.to_object();
+            let copied = doc.import_subtree(&obj, obj.document_element().expect("object root"));
+            doc.append_child(holder, copied);
+            std::fs::write(cdir.join(format!("{}.xml", community.id)), doc.to_xml_string())
+                .map_err(up2p_store::StoreError::from)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a servent previously written by [`Servent::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] for I/O and format problems, plus
+    /// schema errors for corrupt community files.
+    pub fn load_state(peer: PeerId, dir: &std::path::Path) -> Result<Servent, CoreError> {
+        let mut servent = Servent::new(peer);
+        servent.repository = Repository::load_dir(&dir.join("repository"))?;
+        let cdir = dir.join("communities");
+        if cdir.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&cdir)
+                .map_err(up2p_store::StoreError::from)?
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(up2p_store::StoreError::from)?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "xml"))
+                .collect();
+            entries.sort();
+            for path in entries {
+                let text =
+                    std::fs::read_to_string(&path).map_err(up2p_store::StoreError::from)?;
+                let doc = up2p_xml::Document::parse(&text)?;
+                let root = doc.document_element().ok_or_else(|| {
+                    CoreError::Unavailable(format!("saved community at {}", path.display()))
+                })?;
+                let xsd = doc
+                    .child_named(root, "schema-xsd")
+                    .map(|n| doc.text_content(n))
+                    .ok_or_else(|| CoreError::MissingField("schema-xsd".to_string()))?;
+                let holder = doc
+                    .child_named(root, "object")
+                    .and_then(|h| doc.child_elements(h).next())
+                    .ok_or_else(|| CoreError::MissingField("object".to_string()))?;
+                let mut obj_doc = up2p_xml::Document::new();
+                let copied = obj_doc.import_subtree(&doc, holder);
+                let obj_root = obj_doc.root();
+                obj_doc.append_child(obj_root, copied);
+                let mut community = Community::from_object(&obj_doc, &xsd)?;
+                for style in doc.children_named(root, "style") {
+                    let text = doc.text_content(style);
+                    match doc.attr(style, "kind") {
+                        Some("display") => community.display_style = Some(text),
+                        Some("create") => community.create_style = Some(text),
+                        Some("search") => community.search_style = Some(text),
+                        Some("index") => community.index_style = Some(text),
+                        _ => {}
+                    }
+                }
+                servent.join(community);
+            }
+        }
+        Ok(servent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up2p_net::{build_network, ProtocolKind};
+    use up2p_schema::{FieldKind, SchemaBuilder};
+
+    fn pattern_community() -> Community {
+        let mut b = SchemaBuilder::new("pattern");
+        b.field(FieldKind::text("name").searchable())
+            .field(FieldKind::text("category").searchable())
+            .field(FieldKind::text("intent").searchable())
+            .field(FieldKind::text("structure"));
+        Community::from_builder(
+            "design-patterns",
+            "software design patterns",
+            "patterns gof software",
+            "software",
+            "Gnutella",
+            &b,
+        )
+        .unwrap()
+    }
+
+    struct World {
+        net: Box<dyn PeerNetwork + Send>,
+        plane: PayloadPlane,
+    }
+
+    fn world(kind: ProtocolKind, n: usize) -> World {
+        World { net: build_network(kind, n, 42), plane: PayloadPlane::new() }
+    }
+
+    #[test]
+    fn servent_starts_in_root_community() {
+        let s = Servent::new(PeerId(0));
+        assert!(s.community(ROOT_COMMUNITY_ID).is_some());
+        assert_eq!(s.communities().count(), 1);
+    }
+
+    #[test]
+    fn create_publish_search_download_view() {
+        let mut w = world(ProtocolKind::Napster, 4);
+        let community = pattern_community();
+
+        let mut alice = Servent::new(PeerId(1));
+        alice.join(community.clone());
+        let obj = alice
+            .create_object(
+                &community.id,
+                &[
+                    ("name", "Observer"),
+                    ("category", "behavioral"),
+                    ("intent", "notify dependents automatically"),
+                    ("structure", "subject observers"),
+                ],
+            )
+            .unwrap();
+        alice.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+
+        let mut bob = Servent::new(PeerId(2));
+        bob.join(community.clone());
+        let out = bob
+            .search(&mut *w.net, &community.id, &Query::any_keyword("observer"))
+            .unwrap();
+        assert_eq!(out.hits.len(), 1);
+        let downloaded = bob.download(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap();
+        assert_eq!(downloaded.key, obj.key);
+        assert_eq!(bob.local_objects(&community.id).len(), 1);
+
+        let html = bob.view_html(&downloaded).unwrap();
+        assert!(html.contains("Observer"));
+    }
+
+    #[test]
+    fn create_rejects_invalid_values() {
+        let mut s = Servent::new(PeerId(0));
+        let community = pattern_community();
+        s.join(community.clone());
+        let err = s.create_object(&community.id, &[("name", "x")]).unwrap_err();
+        assert!(matches!(err, CoreError::MissingField(_)));
+    }
+
+    #[test]
+    fn search_requires_membership() {
+        let mut s = Servent::new(PeerId(0));
+        let mut w = world(ProtocolKind::Napster, 2);
+        let err = s.search(&mut *w.net, "nope", &Query::All).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownCommunity(_)));
+    }
+
+    #[test]
+    fn community_discovery_and_join_over_network() {
+        let mut w = world(ProtocolKind::Gnutella, 16);
+        let community = pattern_community();
+
+        // peer 1 publishes the community into the root community
+        let mut publisher = Servent::new(PeerId(1));
+        publisher.publish_community(&mut *w.net, &mut w.plane, &community).unwrap();
+
+        // peer 9 discovers it by keyword and joins
+        let mut seeker = Servent::new(PeerId(9));
+        let out = seeker
+            .discover_communities(&mut *w.net, &Query::any_keyword("patterns"))
+            .unwrap();
+        assert!(!out.hits.is_empty(), "community object should be discoverable");
+        let joined_id = seeker.join_from_hit(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap();
+        assert_eq!(joined_id, community.id, "schema + object reproduce the same identity");
+        assert!(seeker.community(&joined_id).is_some());
+
+        // and can immediately search inside it
+        let obj = publisher
+            .create_object(
+                &community.id,
+                &[
+                    ("name", "Visitor"),
+                    ("category", "behavioral"),
+                    ("intent", "represent an operation"),
+                    ("structure", "s"),
+                ],
+            )
+            .unwrap();
+        publisher.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+        let hits = seeker
+            .search(&mut *w.net, &joined_id, &Query::any_keyword("visitor"))
+            .unwrap();
+        assert_eq!(hits.hits.len(), 1);
+    }
+
+    #[test]
+    fn download_replicates_by_default() {
+        let mut w = world(ProtocolKind::Napster, 4);
+        let community = pattern_community();
+        let mut a = Servent::new(PeerId(1));
+        a.join(community.clone());
+        let obj = a
+            .create_object(
+                &community.id,
+                &[
+                    ("name", "Observer"),
+                    ("category", "behavioral"),
+                    ("intent", "i"),
+                    ("structure", "s"),
+                ],
+            )
+            .unwrap();
+        a.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+
+        let mut b = Servent::new(PeerId(2));
+        b.join(community.clone());
+        let out = b.search(&mut *w.net, &community.id, &Query::any_keyword("observer")).unwrap();
+        b.download(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap();
+
+        // now two providers serve the object
+        let mut c = Servent::new(PeerId(3));
+        c.join(community.clone());
+        let out = c.search(&mut *w.net, &community.id, &Query::any_keyword("observer")).unwrap();
+        let providers: Vec<PeerId> = out.hits.iter().map(|h| h.provider).collect();
+        assert_eq!(providers.len(), 2, "replication doubled availability: {providers:?}");
+    }
+
+    #[test]
+    fn download_without_sharing_does_not_replicate() {
+        let mut w = world(ProtocolKind::Napster, 4);
+        let community = pattern_community();
+        let mut a = Servent::new(PeerId(1));
+        a.join(community.clone());
+        let obj = a
+            .create_object(
+                &community.id,
+                &[("name", "X"), ("category", "c"), ("intent", "i"), ("structure", "s")],
+            )
+            .unwrap();
+        a.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+
+        let mut b = Servent::new(PeerId(2));
+        b.share_downloads = false;
+        b.join(community.clone());
+        let out = b.search(&mut *w.net, &community.id, &Query::any_keyword("x")).unwrap();
+        b.download(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap();
+        assert_eq!(b.local_objects(&community.id).len(), 1, "stored locally");
+
+        let mut c = Servent::new(PeerId(3));
+        c.join(community.clone());
+        let out = c.search(&mut *w.net, &community.id, &Query::any_keyword("x")).unwrap();
+        assert_eq!(out.hits.len(), 1, "still only the original provider");
+    }
+
+    #[test]
+    fn download_fails_when_provider_dies() {
+        let mut w = world(ProtocolKind::Napster, 3);
+        let community = pattern_community();
+        let mut a = Servent::new(PeerId(1));
+        a.join(community.clone());
+        let obj = a
+            .create_object(
+                &community.id,
+                &[("name", "X"), ("category", "c"), ("intent", "i"), ("structure", "s")],
+            )
+            .unwrap();
+        a.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+
+        let mut b = Servent::new(PeerId(2));
+        b.join(community.clone());
+        let out = b.search(&mut *w.net, &community.id, &Query::any_keyword("x")).unwrap();
+        w.net.set_alive(PeerId(1), false);
+        let err = b.download(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)));
+    }
+
+    #[test]
+    fn forms_render_for_joined_communities() {
+        let mut s = Servent::new(PeerId(0));
+        let community = pattern_community();
+        s.join(community.clone());
+        let create = s.create_form_html(&community.id).unwrap();
+        assert!(create.contains("pattern/name"));
+        assert!(create.contains("pattern/structure"));
+        let search = s.search_form_html(&community.id).unwrap();
+        assert!(search.contains("pattern/name"));
+        assert!(!search.contains("pattern/structure"), "not searchable");
+        // root community forms work too (community discovery UI)
+        let root_search = s.search_form_html(ROOT_COMMUNITY_ID).unwrap();
+        assert!(root_search.contains("community/keywords"));
+    }
+
+    #[test]
+    fn cmip_search_surface() {
+        let mut w = world(ProtocolKind::Napster, 3);
+        let community = pattern_community();
+        let mut a = Servent::new(PeerId(1));
+        a.join(community.clone());
+        let obj = a
+            .create_object(
+                &community.id,
+                &[
+                    ("name", "Observer"),
+                    ("category", "behavioral"),
+                    ("intent", "i"),
+                    ("structure", "s"),
+                ],
+            )
+            .unwrap();
+        a.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+        let mut b = Servent::new(PeerId(2));
+        b.join(community.clone());
+        let out = b
+            .search_cmip(&mut *w.net, &community.id, "(&(name=observ*)(category=behavioral))")
+            .unwrap();
+        assert_eq!(out.hits.len(), 1);
+        assert!(b.search_cmip(&mut *w.net, &community.id, "(broken").is_err());
+    }
+
+    #[test]
+    fn leave_community_but_never_root() {
+        let mut s = Servent::new(PeerId(0));
+        let community = pattern_community();
+        s.join(community.clone());
+        assert!(s.leave(&community.id));
+        assert!(s.community(&community.id).is_none());
+        assert!(!s.leave(ROOT_COMMUNITY_ID));
+        assert!(s.community(ROOT_COMMUNITY_ID).is_some());
+    }
+
+    #[test]
+    fn attachments_travel_with_downloads() {
+        let mut w = world(ProtocolKind::Napster, 3);
+        let mut b = SchemaBuilder::new("song");
+        b.field(FieldKind::text("title").searchable())
+            .field(FieldKind::uri("audio").attachment());
+        let community =
+            Community::from_builder("mp3", "d", "k", "c", "", &b).unwrap();
+
+        let mut a = Servent::new(PeerId(1));
+        a.join(community.clone());
+        let att = Attachment::from_bytes(&b"fake mp3 bytes"[..]);
+        let obj = a
+            .create_object_with_attachments(
+                &community.id,
+                &[("title", "So What"), ("audio", "@0")],
+                vec![att.clone()],
+            )
+            .unwrap();
+        assert!(obj.xml().contains(&att.uri), "placeholder resolved to URI");
+        a.publish(&mut *w.net, &mut w.plane, &obj).unwrap();
+
+        let mut c = Servent::new(PeerId(2));
+        c.join(community.clone());
+        let out = c.search(&mut *w.net, &community.id, &Query::any_keyword("what")).unwrap();
+        let downloaded = c.download(&mut *w.net, &mut w.plane, &out.hits[0]).unwrap();
+        assert_eq!(downloaded.attachments.len(), 1);
+        assert_eq!(downloaded.attachments[0].data, att.data);
+    }
+}

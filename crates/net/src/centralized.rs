@@ -1,0 +1,263 @@
+//! Napster-style centralized substrate: one index server, direct
+//! peer-to-peer transfers.
+//!
+//! Publish uploads metadata to the server; search is a single
+//! request/response round trip; retrieve is a direct connection to the
+//! provider learned from the hit. The server answers only with records
+//! whose provider is currently online (Napster dropped a user's records
+//! with their session).
+
+use crate::latency::LatencyModel;
+use crate::message::{ResourceRecord, SearchHit, Time};
+use crate::peer::PeerId;
+use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::traits::PeerNetwork;
+use std::collections::{BTreeMap, BTreeSet};
+use up2p_store::Query;
+
+/// The centralized (Napster) substrate.
+pub struct CentralizedNetwork {
+    alive: Vec<bool>,
+    /// key → (record, providers)
+    server: BTreeMap<String, (ResourceRecord, BTreeSet<PeerId>)>,
+    latency: Box<dyn LatencyModel + Send>,
+    stats: NetStats,
+}
+
+impl std::fmt::Debug for CentralizedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CentralizedNetwork")
+            .field("peers", &self.alive.len())
+            .field("records", &self.server.len())
+            .finish()
+    }
+}
+
+impl CentralizedNetwork {
+    /// Creates a network of `n` peers, all online, with the given link
+    /// latency model (used for peer↔server and peer↔peer links alike).
+    pub fn new(n: usize, latency: Box<dyn LatencyModel + Send>) -> Self {
+        CentralizedNetwork {
+            alive: vec![true; n],
+            server: BTreeMap::new(),
+            latency,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// Number of records the server currently indexes.
+    pub fn server_record_count(&self) -> usize {
+        self.server.len()
+    }
+
+    fn rtt(&mut self, a: PeerId, b: PeerId) -> Time {
+        self.latency.delay(a, b) + self.latency.delay(b, a)
+    }
+}
+
+/// Pseudo peer-id used for latency sampling on peer↔server links.
+const SERVER: PeerId = PeerId(u32::MAX);
+
+impl PeerNetwork for CentralizedNetwork {
+    fn protocol_name(&self) -> &'static str {
+        "Napster"
+    }
+
+    fn peer_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    fn set_alive(&mut self, peer: PeerId, alive: bool) {
+        if let Some(a) = self.alive.get_mut(peer.index()) {
+            *a = alive;
+        }
+    }
+
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
+        if !self.is_alive(provider) {
+            return;
+        }
+        self.stats.sent("Publish");
+        self.server
+            .entry(record.key.clone())
+            .or_insert_with(|| (record, BTreeSet::new()))
+            .1
+            .insert(provider);
+    }
+
+    fn unpublish(&mut self, provider: PeerId, key: &str) {
+        self.stats.sent("Unpublish");
+        if let Some((_, providers)) = self.server.get_mut(key) {
+            providers.remove(&provider);
+            if providers.is_empty() {
+                self.server.remove(key);
+            }
+        }
+    }
+
+    fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
+        self.stats.queries += 1;
+        let mut outcome = SearchOutcome::default();
+        if !self.is_alive(origin) {
+            return outcome;
+        }
+        // one request up, one response down
+        self.stats.sent("Query");
+        self.stats.sent("QueryHit");
+        outcome.messages = 2;
+        outcome.latency = self.rtt(origin, SERVER);
+        let alive = self.alive.clone();
+        for (record, providers) in self.server.values() {
+            if record.community != community {
+                continue;
+            }
+            if !query.matches_fields(&record.fields) {
+                continue;
+            }
+            for &p in providers {
+                if alive.get(p.index()).copied().unwrap_or(false) {
+                    outcome.hits.push(SearchHit {
+                        key: record.key.clone(),
+                        provider: p,
+                        fields: record.fields.clone(),
+                        hops: 1,
+                    });
+                    self.stats.hit(1);
+                }
+            }
+        }
+        if !outcome.hits.is_empty() {
+            self.stats.queries_with_hits += 1;
+            outcome.first_hit_latency = Some(outcome.latency);
+        }
+        outcome
+    }
+
+    fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
+        self.stats.retrieves += 1;
+        let has = self
+            .server
+            .get(key)
+            .map(|(_, providers)| providers.contains(&provider))
+            .unwrap_or(false);
+        if !self.is_alive(origin) || !self.is_alive(provider) || !has {
+            self.stats.sent("Retrieve");
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent("Retrieve");
+        self.stats.sent("RetrieveOk");
+        self.stats.retrieves_ok += 1;
+        RetrieveOutcome::Fetched { provider, latency: self.rtt(origin, provider) }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    fn record(key: &str, community: &str, name: &str) -> ResourceRecord {
+        ResourceRecord {
+            key: key.to_string(),
+            community: community.to_string(),
+            fields: vec![("o/name".to_string(), name.to_string())],
+        }
+    }
+
+    fn net(n: usize) -> CentralizedNetwork {
+        CentralizedNetwork::new(n, Box::new(ConstantLatency(10_000)))
+    }
+
+    #[test]
+    fn publish_search_retrieve_round_trip() {
+        let mut net = net(4);
+        net.publish(PeerId(1), record("k1", "patterns", "Observer"));
+        let out = net.search(PeerId(0), "patterns", &Query::any_keyword("observer"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(1));
+        assert_eq!(out.messages, 2);
+        assert_eq!(out.latency, 20_000);
+        let got = net.retrieve(PeerId(0), PeerId(1), "k1");
+        assert!(got.is_fetched());
+    }
+
+    #[test]
+    fn community_scoping() {
+        let mut net = net(3);
+        net.publish(PeerId(1), record("k1", "patterns", "Observer"));
+        net.publish(PeerId(2), record("k2", "songs", "Observer"));
+        let out = net.search(PeerId(0), "patterns", &Query::any_keyword("observer"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].key, "k1");
+    }
+
+    #[test]
+    fn dead_providers_filtered_from_results() {
+        let mut net = net(3);
+        net.publish(PeerId(1), record("k1", "c", "x"));
+        net.publish(PeerId(2), record("k1", "c", "x"));
+        net.set_alive(PeerId(1), false);
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(2));
+        // retrieval from the dead one fails, from the live one succeeds
+        assert!(!net.retrieve(PeerId(0), PeerId(1), "k1").is_fetched());
+        assert!(net.retrieve(PeerId(0), PeerId(2), "k1").is_fetched());
+    }
+
+    #[test]
+    fn replication_increases_providers() {
+        let mut net = net(4);
+        net.publish(PeerId(1), record("k1", "c", "x"));
+        net.publish(PeerId(3), record("k1", "c", "x"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 2);
+        assert_eq!(out.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn unpublish_removes_record() {
+        let mut net = net(2);
+        net.publish(PeerId(1), record("k1", "c", "x"));
+        net.unpublish(PeerId(1), "k1");
+        assert_eq!(net.server_record_count(), 0);
+        let out = net.search(PeerId(0), "c", &Query::All);
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = net(2);
+        net.publish(PeerId(1), record("k1", "c", "x"));
+        net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        net.search(PeerId(0), "c", &Query::any_keyword("zzz"));
+        let s = net.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.queries_with_hits, 1);
+        assert_eq!(s.query_success_rate(), 0.5);
+        assert_eq!(s.by_kind["Publish"], 1);
+        assert_eq!(s.by_kind["Query"], 2);
+    }
+
+    #[test]
+    fn dead_origin_gets_nothing() {
+        let mut net = net(2);
+        net.publish(PeerId(1), record("k1", "c", "x"));
+        net.set_alive(PeerId(0), false);
+        let out = net.search(PeerId(0), "c", &Query::All);
+        assert!(out.hits.is_empty());
+        assert_eq!(out.messages, 0);
+    }
+}

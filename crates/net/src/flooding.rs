@@ -1,0 +1,421 @@
+//! Gnutella-style flooding substrate: TTL-limited query broadcast over an
+//! overlay graph with duplicate suppression, hits routed back along the
+//! reverse path.
+//!
+//! Publishing is free (objects are shared from the provider's own store;
+//! no metadata leaves the peer), searching costs O(edges within the TTL
+//! horizon) messages — exactly the trade-off against Napster that
+//! experiment E6 measures.
+
+use crate::latency::LatencyModel;
+use crate::message::{ResourceRecord, SearchHit, Time, DEFAULT_TTL};
+use crate::peer::PeerId;
+use crate::sim::EventQueue;
+use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::topology::Topology;
+use crate::traits::PeerNetwork;
+use std::collections::{BTreeMap, HashSet};
+use up2p_store::Query;
+
+/// Tuning knobs for the flooding substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodingConfig {
+    /// Initial query TTL in overlay hops.
+    pub ttl: u8,
+    /// Drop duplicate query arrivals (Gnutella's GUID cache). Disabling
+    /// this is the E6 ablation `flooding_no_dedup`.
+    pub dedup: bool,
+}
+
+impl Default for FloodingConfig {
+    fn default() -> Self {
+        FloodingConfig { ttl: DEFAULT_TTL, dedup: true }
+    }
+}
+
+/// The flooding (Gnutella) substrate.
+pub struct FloodingNetwork {
+    topology: Topology,
+    alive: Vec<bool>,
+    shared: Vec<BTreeMap<String, ResourceRecord>>,
+    latency: Box<dyn LatencyModel + Send>,
+    config: FloodingConfig,
+    stats: NetStats,
+}
+
+impl std::fmt::Debug for FloodingNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloodingNetwork")
+            .field("peers", &self.alive.len())
+            .field("edges", &self.topology.edge_count())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A query copy in flight. `path` is the route travelled so far,
+/// *excluding* the destination (the last element is the immediate
+/// sender); hits found at the destination travel back along it.
+struct QueryEvent {
+    to: PeerId,
+    path: Vec<PeerId>,
+    ttl: u8,
+}
+
+impl FloodingNetwork {
+    /// Creates a flooding network over the given overlay with all peers
+    /// online.
+    pub fn new(
+        topology: Topology,
+        latency: Box<dyn LatencyModel + Send>,
+        config: FloodingConfig,
+    ) -> Self {
+        let n = topology.len();
+        FloodingNetwork {
+            topology,
+            alive: vec![true; n],
+            shared: vec![BTreeMap::new(); n],
+            latency,
+            config,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// The overlay graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> FloodingConfig {
+        self.config
+    }
+
+    /// Number of records shared by one peer.
+    pub fn shared_count(&self, peer: PeerId) -> usize {
+        self.shared.get(peer.index()).map_or(0, BTreeMap::len)
+    }
+}
+
+impl PeerNetwork for FloodingNetwork {
+    fn protocol_name(&self) -> &'static str {
+        "Gnutella"
+    }
+
+    fn peer_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    fn set_alive(&mut self, peer: PeerId, alive: bool) {
+        if let Some(a) = self.alive.get_mut(peer.index()) {
+            *a = alive;
+        }
+    }
+
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
+        // Gnutella shares from the local store: no message is sent.
+        if let Some(map) = self.shared.get_mut(provider.index()) {
+            map.insert(record.key.clone(), record);
+        }
+    }
+
+    fn unpublish(&mut self, provider: PeerId, key: &str) {
+        if let Some(map) = self.shared.get_mut(provider.index()) {
+            map.remove(key);
+        }
+    }
+
+    fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
+        self.stats.queries += 1;
+        let mut outcome = SearchOutcome::default();
+        if !self.is_alive(origin) {
+            return outcome;
+        }
+        let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
+        // local results cost nothing (the servent consults its own
+        // repository before the network)
+        for record in self.shared[origin.index()].values() {
+            if record.community == community && query.matches_fields(&record.fields) {
+                hit_seen.insert((record.key.clone(), origin));
+                outcome.hits.push(SearchHit {
+                    key: record.key.clone(),
+                    provider: origin,
+                    fields: record.fields.clone(),
+                    hops: 0,
+                });
+                self.stats.hit(0);
+                outcome.first_hit_latency = Some(0);
+            }
+        }
+
+        let mut queue: EventQueue<QueryEvent> = EventQueue::new();
+        let mut seen: HashSet<PeerId> = HashSet::new();
+        seen.insert(origin);
+        if self.config.ttl > 0 {
+            let neighbors: Vec<PeerId> = self.topology.neighbors(origin).collect();
+            for nb in neighbors {
+                self.stats.sent("Query");
+                outcome.messages += 1;
+                let at = self.latency.delay(origin, nb);
+                queue.push(at, QueryEvent { to: nb, path: vec![origin], ttl: self.config.ttl - 1 });
+            }
+        }
+
+        let mut last_hit_at: Time = 0;
+        let mut quiescence: Time = 0;
+        while let Some((t, ev)) = queue.pop() {
+            quiescence = quiescence.max(t);
+            if !self.is_alive(ev.to) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.config.dedup && !seen.insert(ev.to) {
+                continue; // duplicate query arrival, dropped by GUID cache
+            }
+            // evaluate against this peer's shared records
+            let matches: Vec<ResourceRecord> = self.shared[ev.to.index()]
+                .values()
+                .filter(|r| r.community == community && query.matches_fields(&r.fields))
+                .cloned()
+                .collect();
+            if !matches.is_empty() {
+                // QueryHit routes back along the reverse path: one message
+                // per edge, arriving after the summed reverse delays
+                let mut back_latency: Time = 0;
+                let mut prev = ev.to;
+                for &node in ev.path.iter().rev() {
+                    self.stats.sent("QueryHit");
+                    outcome.messages += 1;
+                    back_latency += self.latency.delay(prev, node);
+                    prev = node;
+                }
+                let arrival = t + back_latency;
+                let hops = ev.path.len() as u8;
+                for record in matches {
+                    if hit_seen.insert((record.key.clone(), ev.to)) {
+                        outcome.hits.push(SearchHit {
+                            key: record.key.clone(),
+                            provider: ev.to,
+                            fields: record.fields.clone(),
+                            hops,
+                        });
+                        self.stats.hit(hops);
+                        last_hit_at = last_hit_at.max(arrival);
+                        outcome.first_hit_latency = Some(
+                            outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)),
+                        );
+                    }
+                }
+            }
+            // forward to all neighbors except the immediate sender
+            if ev.ttl > 0 {
+                let sender = *ev.path.last().expect("path never empty");
+                let neighbors: Vec<PeerId> = self.topology.neighbors(ev.to).collect();
+                for nb in neighbors {
+                    if nb == sender {
+                        continue;
+                    }
+                    self.stats.sent("Query");
+                    outcome.messages += 1;
+                    let at = t + self.latency.delay(ev.to, nb);
+                    let mut path = ev.path.clone();
+                    path.push(ev.to);
+                    queue.push(at, QueryEvent { to: nb, path, ttl: ev.ttl - 1 });
+                }
+            }
+        }
+
+        outcome.latency = if outcome.hits.is_empty() { quiescence } else { last_hit_at };
+        if !outcome.hits.is_empty() {
+            self.stats.queries_with_hits += 1;
+        }
+        outcome
+    }
+
+    fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
+        self.stats.retrieves += 1;
+        self.stats.sent("Retrieve");
+        let available = self.is_alive(origin)
+            && self.is_alive(provider)
+            && self.shared[provider.index()].contains_key(key);
+        if !available {
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent("RetrieveOk");
+        self.stats.retrieves_ok += 1;
+        let latency = self.latency.delay(origin, provider) + self.latency.delay(provider, origin);
+        RetrieveOutcome::Fetched { provider, latency }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    fn record(key: &str, name: &str) -> ResourceRecord {
+        ResourceRecord {
+            key: key.to_string(),
+            community: "c".to_string(),
+            fields: vec![("o/name".to_string(), name.to_string())],
+        }
+    }
+
+    fn line(n: usize) -> FloodingNetwork {
+        // 0 - 1 - 2 - ... - (n-1)
+        let mut t = Topology::empty(n);
+        for i in 0..n - 1 {
+            t.connect(PeerId(i as u32), PeerId(i as u32 + 1));
+        }
+        FloodingNetwork::new(t, Box::new(ConstantLatency(1_000)), FloodingConfig::default())
+    }
+
+    #[test]
+    fn finds_object_within_ttl() {
+        let mut net = line(5);
+        net.publish(PeerId(3), record("k", "observer"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("observer"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(3));
+        assert_eq!(out.hits[0].hops, 3);
+        // query travelled 3 edges there, hit 3 edges back: 6000us
+        assert_eq!(out.first_hit_latency, Some(6_000));
+    }
+
+    #[test]
+    fn ttl_bounds_reach() {
+        let mut t = Topology::empty(6);
+        for i in 0..5 {
+            t.connect(PeerId(i), PeerId(i + 1));
+        }
+        let mut net = FloodingNetwork::new(
+            t,
+            Box::new(ConstantLatency(1_000)),
+            FloodingConfig { ttl: 2, dedup: true },
+        );
+        net.publish(PeerId(5), record("far", "x"));
+        net.publish(PeerId(2), record("near", "x"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        let keys: Vec<&str> = out.hits.iter().map(|h| h.key.as_str()).collect();
+        assert_eq!(keys, vec!["near"], "ttl 2 reaches peer 2 but not peer 5");
+    }
+
+    #[test]
+    fn local_hits_are_free() {
+        let mut net = line(3);
+        net.publish(PeerId(0), record("k", "x"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].hops, 0);
+        assert_eq!(out.first_hit_latency, Some(0));
+    }
+
+    #[test]
+    fn dedup_caps_messages_on_cyclic_graphs() {
+        let cycle = |dedup| {
+            let mut t = Topology::empty(4);
+            // complete graph — worst case for duplicate queries
+            for i in 0..4u32 {
+                for j in (i + 1)..4 {
+                    t.connect(PeerId(i), PeerId(j));
+                }
+            }
+            let mut net = FloodingNetwork::new(
+                t,
+                Box::new(ConstantLatency(1_000)),
+                FloodingConfig { ttl: 4, dedup },
+            );
+            net.publish(PeerId(3), record("k", "x"));
+            let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+            out.messages
+        };
+        let with = cycle(true);
+        let without = cycle(false);
+        assert!(
+            without > with * 2,
+            "no-dedup should blow up message count: {without} vs {with}"
+        );
+    }
+
+    #[test]
+    fn dead_peers_break_the_path() {
+        let mut net = line(5);
+        net.publish(PeerId(4), record("k", "x"));
+        net.set_alive(PeerId(2), false);
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty(), "peer 2 is the only route to peer 4");
+        assert!(net.stats().dropped > 0);
+    }
+
+    #[test]
+    fn replicas_found_on_both_sides() {
+        let mut net = line(7);
+        net.publish(PeerId(1), record("k", "x"));
+        net.publish(PeerId(5), record("k", "x"));
+        let out = net.search(PeerId(3), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 2);
+        assert_eq!(out.distinct_keys(), 1);
+        let providers: Vec<PeerId> = out.hits.iter().map(|h| h.provider).collect();
+        assert!(providers.contains(&PeerId(1)) && providers.contains(&PeerId(5)));
+    }
+
+    #[test]
+    fn retrieve_requires_live_provider_with_object() {
+        let mut net = line(3);
+        net.publish(PeerId(2), record("k", "x"));
+        assert!(net.retrieve(PeerId(0), PeerId(2), "k").is_fetched());
+        assert!(!net.retrieve(PeerId(0), PeerId(1), "k").is_fetched(), "peer 1 lacks it");
+        net.set_alive(PeerId(2), false);
+        assert!(!net.retrieve(PeerId(0), PeerId(2), "k").is_fetched());
+        assert_eq!(net.stats().retrieves, 3);
+        assert_eq!(net.stats().retrieves_ok, 1);
+    }
+
+    #[test]
+    fn unpublish_stops_hits() {
+        let mut net = line(3);
+        net.publish(PeerId(1), record("k", "x"));
+        net.unpublish(PeerId(1), "k");
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn community_scoping_respected() {
+        let mut net = line(3);
+        net.publish(
+            PeerId(1),
+            ResourceRecord {
+                key: "k".into(),
+                community: "other".into(),
+                fields: vec![("o/name".into(), "x".into())],
+            },
+        );
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn message_count_bounded_by_edge_budget() {
+        // with dedup, forwards ≤ 2 * edges (each edge crossed at most once
+        // per direction) plus hit back-propagation
+        let t = Topology::ring_lattice(20, 2);
+        let edges = t.edge_count() as u64;
+        let mut net =
+            FloodingNetwork::new(t, Box::new(ConstantLatency(1_000)), FloodingConfig::default());
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("nothing"));
+        assert!(out.messages <= edges * 2, "{} > {}", out.messages, edges * 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! # up2p-net
+//!
+//! Simulated peer-to-peer substrates for the U-P2P reproduction.
+//!
+//! The paper deliberately treats the network as a pluggable layer: a
+//! community's schema names its `protocol` (Fig. 3: Napster, Gnutella or
+//! FastTrack) and the servent only needs create/search/retrieve
+//! primitives. This crate provides that trait ([`PeerNetwork`]) and three
+//! deterministic discrete-event implementations:
+//!
+//! * [`CentralizedNetwork`] — Napster-style index server,
+//! * [`FloodingNetwork`] — Gnutella-style TTL flooding over an overlay,
+//! * [`SuperPeerNetwork`] — FastTrack-style two-tier super-peer network.
+//!
+//! No 2002 network exists to join, so the substrates reproduce *routing
+//! semantics* (which peers are asked, how many messages, how many hops)
+//! under seeded latency models, overlay topologies and churn — the
+//! quantities experiments E3/E5/E6 report.
+//!
+//! ```
+//! use up2p_net::{
+//!     ConstantLatency, FloodingConfig, FloodingNetwork, PeerId, PeerNetwork,
+//!     ResourceRecord, Topology,
+//! };
+//! use up2p_store::Query;
+//!
+//! let topo = Topology::small_world(64, 2, 0.2, 1);
+//! let mut net = FloodingNetwork::new(
+//!     topo, Box::new(ConstantLatency(20_000)), FloodingConfig::default());
+//! net.publish(PeerId(9), ResourceRecord {
+//!     key: "k1".into(),
+//!     community: "patterns".into(),
+//!     fields: vec![("pattern/name".into(), "Observer".into())],
+//! });
+//! let out = net.search(PeerId(0), "patterns", &Query::any_keyword("observer"));
+//! assert_eq!(out.hits.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod centralized;
+pub mod churn;
+mod flooding;
+mod latency;
+mod live;
+mod message;
+mod peer;
+pub mod sim;
+mod stats;
+mod superpeer;
+mod topology;
+mod traits;
+
+pub use centralized::CentralizedNetwork;
+pub use flooding::{FloodingConfig, FloodingNetwork};
+pub use live::LiveNetwork;
+pub use latency::{ConstantLatency, CoordinateLatency, LatencyModel, UniformLatency};
+pub use message::{Message, MessageKind, ResourceRecord, SearchHit, Time, DEFAULT_TTL};
+pub use peer::PeerId;
+pub use stats::{NetStats, RetrieveOutcome, SearchOutcome};
+pub use superpeer::{SuperPeerConfig, SuperPeerNetwork};
+pub use topology::Topology;
+pub use traits::{PeerNetwork, ProtocolKind};
+
+/// Builds a substrate of the given kind with sensible defaults for the
+/// experiments: `n` peers, seeded topology/latency, all peers online.
+///
+/// * Napster: constant 20 ms links to the server.
+/// * Gnutella: small-world overlay (2k = 4 neighbors, β = 0.2), TTL 7.
+/// * FastTrack: ~`sqrt(n)` super-peers, TTL 4 on the super overlay.
+pub fn build_network(kind: ProtocolKind, n: usize, seed: u64) -> Box<dyn PeerNetwork + Send> {
+    match kind {
+        ProtocolKind::Napster => {
+            Box::new(CentralizedNetwork::new(n, Box::new(ConstantLatency(20_000))))
+        }
+        ProtocolKind::Gnutella => {
+            let topo = Topology::small_world(n, 2, 0.2, seed);
+            Box::new(FloodingNetwork::new(
+                topo,
+                Box::new(ConstantLatency(20_000)),
+                FloodingConfig::default(),
+            ))
+        }
+        ProtocolKind::FastTrack => {
+            let supers = (n as f64).sqrt().ceil() as usize;
+            let supers = supers.clamp(1, n);
+            Box::new(SuperPeerNetwork::new(
+                n,
+                SuperPeerConfig { supers, super_degree: 2, ttl: 4 },
+                Box::new(ConstantLatency(20_000)),
+                seed,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up2p_store::Query;
+
+    #[test]
+    fn factory_builds_all_three() {
+        for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+            let mut net = build_network(kind, 64, 7);
+            assert_eq!(net.peer_count(), 64);
+            assert_eq!(net.protocol_name(), kind.schema_value());
+            net.publish(
+                PeerId(3),
+                ResourceRecord {
+                    key: "k".into(),
+                    community: "c".into(),
+                    fields: vec![("o/name".into(), "target".into())],
+                },
+            );
+            let out = net.search(PeerId(40), "c", &Query::any_keyword("target"));
+            assert_eq!(out.hits.len(), 1, "{kind} must find the record");
+            assert!(
+                net.retrieve(PeerId(40), PeerId(3), "k").is_fetched(),
+                "{kind} retrieve"
+            );
+        }
+    }
+
+    #[test]
+    fn message_cost_ordering_napster_fasttrack_gnutella() {
+        // the E6 headline shape: centralized ≤ super-peer ≤ flooding
+        let mut costs = Vec::new();
+        for kind in [ProtocolKind::Napster, ProtocolKind::FastTrack, ProtocolKind::Gnutella] {
+            let mut net = build_network(kind, 128, 11);
+            net.publish(
+                PeerId(5),
+                ResourceRecord {
+                    key: "k".into(),
+                    community: "c".into(),
+                    fields: vec![("o/name".into(), "x".into())],
+                },
+            );
+            let out = net.search(PeerId(100), "c", &Query::any_keyword("x"));
+            costs.push((kind, out.messages));
+        }
+        assert!(costs[0].1 <= costs[1].1, "{costs:?}");
+        assert!(costs[1].1 <= costs[2].1, "{costs:?}");
+    }
+}

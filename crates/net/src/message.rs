@@ -1,0 +1,129 @@
+//! Wire-level message model shared by the simulated substrates.
+
+use crate::peer::PeerId;
+use up2p_store::Query;
+
+/// Virtual time in microseconds since simulation start.
+pub type Time = u64;
+
+/// A shared-resource record as the network layer sees it: key, community
+/// and the extracted metadata fields a query is evaluated against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Content-derived key (hex of the object's `ResourceId`).
+    pub key: String,
+    /// Community identifier.
+    pub community: String,
+    /// Extracted `(field path, value)` metadata.
+    pub fields: Vec<(String, String)>,
+}
+
+/// One search result returned to the querying peer. Per the paper
+/// (§IV-C2) results carry the full metadata of the object so the user can
+/// scrutinize them before downloading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// Resource key.
+    pub key: String,
+    /// Peer that shares the object.
+    pub provider: PeerId,
+    /// Full extracted metadata.
+    pub fields: Vec<(String, String)>,
+    /// Hops the query travelled before matching.
+    pub hops: u8,
+}
+
+/// Message kinds exchanged by the substrates. Not every substrate uses
+/// every kind (Napster has no forwarded queries; Gnutella has no publish).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MessageKind {
+    /// A metadata query propagating through the overlay.
+    Query {
+        /// Originating peer (hits route back to it).
+        origin: PeerId,
+        /// Community scope.
+        community: String,
+        /// The query itself.
+        query: Query,
+    },
+    /// Results travelling back toward the origin.
+    QueryHit {
+        /// Hits found at one peer.
+        hits: Vec<SearchHit>,
+    },
+    /// Metadata upload to an index node (Napster server / super-peer).
+    Publish {
+        /// The record being published.
+        record: ResourceRecord,
+    },
+    /// Removal of published metadata.
+    Unpublish {
+        /// Key being withdrawn.
+        key: String,
+    },
+    /// Direct download request for an object.
+    Retrieve {
+        /// Key being fetched.
+        key: String,
+    },
+    /// Download response (success).
+    RetrieveOk {
+        /// Key fetched.
+        key: String,
+    },
+    /// Download response (provider does not have the object / is gone).
+    RetrieveFail {
+        /// Key that failed.
+        key: String,
+    },
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Unique id for duplicate suppression (Gnutella's GUID role).
+    pub id: u64,
+    /// Immediate sender (reverse-path routing).
+    pub from: PeerId,
+    /// Remaining time-to-live in overlay hops.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hops: u8,
+    /// Payload.
+    pub kind: MessageKind,
+}
+
+/// Default Gnutella-era TTL (the protocol shipped with 7).
+pub const DEFAULT_TTL: u8 = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_equality() {
+        let r = ResourceRecord {
+            key: "ab".into(),
+            community: "c".into(),
+            fields: vec![("o/name".into(), "x".into())],
+        };
+        assert_eq!(r.clone(), r);
+    }
+
+    #[test]
+    fn message_carries_query() {
+        let m = Message {
+            id: 1,
+            from: PeerId(0),
+            ttl: DEFAULT_TTL,
+            hops: 0,
+            kind: MessageKind::Query {
+                origin: PeerId(0),
+                community: "patterns".into(),
+                query: Query::any_keyword("observer"),
+            },
+        };
+        assert_eq!(m.ttl, 7);
+        assert!(matches!(m.kind, MessageKind::Query { .. }));
+    }
+}

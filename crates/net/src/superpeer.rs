@@ -1,0 +1,426 @@
+//! FastTrack-style super-peer substrate: leaves publish metadata to their
+//! super-peer; queries flood only the (much smaller) super-peer overlay.
+//!
+//! Sits between Napster and Gnutella in the E6 comparison: no single
+//! server, but message cost scales with super-peer edges rather than all
+//! peers.
+
+use crate::latency::LatencyModel;
+use crate::message::{ResourceRecord, SearchHit, Time};
+use crate::peer::PeerId;
+use crate::sim::EventQueue;
+use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::topology::Topology;
+use crate::traits::PeerNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use up2p_store::Query;
+
+/// Configuration for the super-peer substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperPeerConfig {
+    /// Number of super-peers (the first `supers` peer ids).
+    pub supers: usize,
+    /// Each-side neighbor count of the super-peer ring lattice before
+    /// small-world rewiring.
+    pub super_degree: usize,
+    /// TTL for flooding among super-peers.
+    pub ttl: u8,
+}
+
+impl Default for SuperPeerConfig {
+    fn default() -> Self {
+        SuperPeerConfig { supers: 8, super_degree: 2, ttl: 4 }
+    }
+}
+
+/// The super-peer (FastTrack) substrate.
+pub struct SuperPeerNetwork {
+    config: SuperPeerConfig,
+    /// peer index → index of its super-peer (supers map to themselves).
+    super_of: Vec<usize>,
+    /// Overlay among super-peers; `PeerId` in this graph is the *super
+    /// index* (0..supers), not the global peer id.
+    super_topology: Topology,
+    /// Per-super metadata index: key → (record, providers).
+    indexes: Vec<BTreeMap<String, (ResourceRecord, BTreeSet<PeerId>)>>,
+    /// Per-peer owned object keys (for retrieval).
+    owned: Vec<BTreeSet<String>>,
+    alive: Vec<bool>,
+    latency: Box<dyn LatencyModel + Send>,
+    stats: NetStats,
+}
+
+impl std::fmt::Debug for SuperPeerNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuperPeerNetwork")
+            .field("peers", &self.alive.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+struct SuperQueryEvent {
+    /// Destination super index.
+    to: usize,
+    /// Super indices travelled (last = sender).
+    path: Vec<usize>,
+    ttl: u8,
+}
+
+impl SuperPeerNetwork {
+    /// Creates a network of `n` peers. The first `config.supers` ids are
+    /// super-peers; every other peer is assigned to a uniformly random
+    /// super (seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.supers` is zero or exceeds `n`.
+    pub fn new(
+        n: usize,
+        config: SuperPeerConfig,
+        latency: Box<dyn LatencyModel + Send>,
+        seed: u64,
+    ) -> Self {
+        assert!(config.supers > 0 && config.supers <= n, "invalid super count");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut super_of = Vec::with_capacity(n);
+        for i in 0..n {
+            if i < config.supers {
+                super_of.push(i);
+            } else {
+                super_of.push(rng.gen_range(0..config.supers));
+            }
+        }
+        let super_topology = if config.supers <= 3 {
+            Topology::ring_lattice(config.supers, 1)
+        } else {
+            Topology::small_world(config.supers, config.super_degree, 0.2, seed ^ 0x5eed)
+        };
+        SuperPeerNetwork {
+            config,
+            super_of,
+            super_topology,
+            indexes: vec![BTreeMap::new(); config.supers],
+            owned: vec![BTreeSet::new(); n],
+            alive: vec![true; n],
+            latency,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// The super-peer index a peer is attached to.
+    pub fn super_of(&self, peer: PeerId) -> usize {
+        self.super_of[peer.index()]
+    }
+
+    /// Is the given peer a super-peer?
+    pub fn is_super(&self, peer: PeerId) -> bool {
+        peer.index() < self.config.supers
+    }
+
+    fn super_peer_id(&self, super_index: usize) -> PeerId {
+        PeerId(super_index as u32)
+    }
+}
+
+impl PeerNetwork for SuperPeerNetwork {
+    fn protocol_name(&self) -> &'static str {
+        "FastTrack"
+    }
+
+    fn peer_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    fn set_alive(&mut self, peer: PeerId, alive: bool) {
+        if let Some(a) = self.alive.get_mut(peer.index()) {
+            *a = alive;
+        }
+    }
+
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
+        if !self.is_alive(provider) {
+            return;
+        }
+        let s = self.super_of(provider);
+        if !self.is_super(provider) {
+            self.stats.sent("Publish"); // leaf → super upload
+        }
+        self.owned[provider.index()].insert(record.key.clone());
+        self.indexes[s]
+            .entry(record.key.clone())
+            .or_insert_with(|| (record, BTreeSet::new()))
+            .1
+            .insert(provider);
+    }
+
+    fn unpublish(&mut self, provider: PeerId, key: &str) {
+        let s = self.super_of(provider);
+        if !self.is_super(provider) {
+            self.stats.sent("Unpublish");
+        }
+        self.owned[provider.index()].remove(key);
+        if let Some((_, providers)) = self.indexes[s].get_mut(key) {
+            providers.remove(&provider);
+            if providers.is_empty() {
+                self.indexes[s].remove(key);
+            }
+        }
+    }
+
+    fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
+        self.stats.queries += 1;
+        let mut outcome = SearchOutcome::default();
+        if !self.is_alive(origin) {
+            return outcome;
+        }
+        let s0 = self.super_of(origin);
+        let mut uplink: Time = 0;
+        if !self.is_super(origin) {
+            self.stats.sent("Query");
+            outcome.messages += 1;
+            uplink = self.latency.delay(origin, self.super_peer_id(s0));
+            if !self.is_alive(self.super_peer_id(s0)) {
+                self.stats.dropped += 1;
+                outcome.latency = uplink;
+                return outcome; // orphaned leaf: its super is gone
+            }
+        }
+
+        let mut queue: EventQueue<SuperQueryEvent> = EventQueue::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        queue.push(uplink, SuperQueryEvent { to: s0, path: Vec::new(), ttl: self.config.ttl });
+
+        let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
+        let mut last_hit_at: Time = 0;
+        let mut quiescence: Time = 0;
+        while let Some((t, ev)) = queue.pop() {
+            quiescence = quiescence.max(t);
+            let super_id = self.super_peer_id(ev.to);
+            if !self.is_alive(super_id) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if !seen.insert(ev.to) {
+                continue;
+            }
+            // answer from this super's index
+            let alive = self.alive.clone();
+            let mut local_hits: Vec<SearchHit> = Vec::new();
+            for (record, providers) in self.indexes[ev.to].values() {
+                if record.community != community || !query.matches_fields(&record.fields) {
+                    continue;
+                }
+                for &p in providers {
+                    if alive.get(p.index()).copied().unwrap_or(false)
+                        && hit_seen.insert((record.key.clone(), p))
+                    {
+                        local_hits.push(SearchHit {
+                            key: record.key.clone(),
+                            provider: p,
+                            fields: record.fields.clone(),
+                            hops: ev.path.len() as u8 + u8::from(!self.is_super(origin)),
+                        });
+                    }
+                }
+            }
+            if !local_hits.is_empty() {
+                // back along super path, then down to the leaf
+                let mut back: Time = 0;
+                let mut prev = ev.to;
+                for &node in ev.path.iter().rev() {
+                    self.stats.sent("QueryHit");
+                    outcome.messages += 1;
+                    back += self
+                        .latency
+                        .delay(self.super_peer_id(prev), self.super_peer_id(node));
+                    prev = node;
+                }
+                if !self.is_super(origin) {
+                    self.stats.sent("QueryHit");
+                    outcome.messages += 1;
+                    back += self.latency.delay(self.super_peer_id(s0), origin);
+                }
+                let arrival = t + back;
+                for h in local_hits {
+                    self.stats.hit(h.hops);
+                    last_hit_at = last_hit_at.max(arrival);
+                    outcome.first_hit_latency =
+                        Some(outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
+                    outcome.hits.push(h);
+                }
+            }
+            // flood to neighboring supers
+            if ev.ttl > 0 {
+                let sender = ev.path.last().copied();
+                let neighbors: Vec<usize> = self
+                    .super_topology
+                    .neighbors(PeerId(ev.to as u32))
+                    .map(|p| p.index())
+                    .collect();
+                for nb in neighbors {
+                    if Some(nb) == sender {
+                        continue;
+                    }
+                    self.stats.sent("Query");
+                    outcome.messages += 1;
+                    let at = t
+                        + self
+                            .latency
+                            .delay(self.super_peer_id(ev.to), self.super_peer_id(nb));
+                    let mut path = ev.path.clone();
+                    path.push(ev.to);
+                    queue.push(at, SuperQueryEvent { to: nb, path, ttl: ev.ttl - 1 });
+                }
+            }
+        }
+
+        outcome.latency = if outcome.hits.is_empty() { quiescence } else { last_hit_at };
+        if !outcome.hits.is_empty() {
+            self.stats.queries_with_hits += 1;
+        }
+        outcome
+    }
+
+    fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
+        self.stats.retrieves += 1;
+        self.stats.sent("Retrieve");
+        let available = self.is_alive(origin)
+            && self.is_alive(provider)
+            && self.owned[provider.index()].contains(key);
+        if !available {
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent("RetrieveOk");
+        self.stats.retrieves_ok += 1;
+        let latency = self.latency.delay(origin, provider) + self.latency.delay(provider, origin);
+        RetrieveOutcome::Fetched { provider, latency }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    fn record(key: &str, name: &str) -> ResourceRecord {
+        ResourceRecord {
+            key: key.to_string(),
+            community: "c".to_string(),
+            fields: vec![("o/name".to_string(), name.to_string())],
+        }
+    }
+
+    fn net(n: usize, supers: usize) -> SuperPeerNetwork {
+        SuperPeerNetwork::new(
+            n,
+            SuperPeerConfig { supers, super_degree: 2, ttl: 6 },
+            Box::new(ConstantLatency(1_000)),
+            42,
+        )
+    }
+
+    #[test]
+    fn leaves_are_assigned_to_supers() {
+        let net = net(50, 5);
+        for p in 0..50u32 {
+            let s = net.super_of(PeerId(p));
+            assert!(s < 5);
+            if p < 5 {
+                assert_eq!(s, p as usize, "supers are their own super");
+                assert!(net.is_super(PeerId(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn publish_search_across_supers() {
+        let mut net = net(50, 5);
+        net.publish(PeerId(30), record("k", "observer"));
+        let out = net.search(PeerId(40), "c", &Query::any_keyword("observer"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(30));
+        assert!(out.messages >= 2, "at least uplink + some flooding");
+    }
+
+    #[test]
+    fn message_cost_scales_with_supers_not_peers() {
+        let mut big_flat = net(400, 5);
+        big_flat.publish(PeerId(300), record("k", "x"));
+        let out = big_flat.search(PeerId(200), "c", &Query::any_keyword("x"));
+        // super overlay has 5 nodes / ~10 edges; cost must not approach 400
+        assert!(out.messages < 50, "messages {} should be tiny", out.messages);
+        assert_eq!(out.hits.len(), 1);
+    }
+
+    #[test]
+    fn dead_super_orphans_its_leaves() {
+        let mut net = net(20, 4);
+        // find a leaf and kill its super
+        let leaf = PeerId(15);
+        let s = net.super_of(leaf);
+        net.publish(PeerId(10), record("k", "x"));
+        net.set_alive(PeerId(s as u32), false);
+        let out = net.search(leaf, "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty(), "orphaned leaf cannot search");
+    }
+
+    #[test]
+    fn dead_provider_filtered() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(10), record("k", "x"));
+        net.set_alive(PeerId(10), false);
+        let out = net.search(PeerId(12), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty());
+        assert!(!net.retrieve(PeerId(12), PeerId(10), "k").is_fetched());
+    }
+
+    #[test]
+    fn super_origin_searches_without_uplink() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(0), record("k", "x"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].hops, 0, "own index, no uplink hop");
+    }
+
+    #[test]
+    fn retrieve_round_trip() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(10), record("k", "x"));
+        let got = net.retrieve(PeerId(12), PeerId(10), "k");
+        assert!(got.is_fetched());
+        if let RetrieveOutcome::Fetched { latency, .. } = got {
+            assert_eq!(latency, 2_000);
+        }
+    }
+
+    #[test]
+    fn unpublish_removes_from_super_index() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(10), record("k", "x"));
+        net.unpublish(PeerId(10), "k");
+        let out = net.search(PeerId(12), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid super count")]
+    fn zero_supers_rejected() {
+        net(10, 0);
+    }
+}

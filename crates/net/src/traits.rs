@@ -1,0 +1,110 @@
+//! The generic peer-to-peer interface.
+//!
+//! The paper's conclusion proposes "to model the peer-to-peer layer as
+//! providing a generic interface with primitives for create, search and
+//! retrieve". [`PeerNetwork`] is that interface; the servent in
+//! `up2p-core` is written against it and runs unchanged on all three
+//! substrates (experiment E6).
+
+use crate::message::ResourceRecord;
+use crate::peer::PeerId;
+use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use up2p_store::Query;
+
+/// A peer-to-peer substrate offering the paper's three primitives
+/// (publish ≈ create, search, retrieve) plus liveness control for churn
+/// experiments.
+///
+/// All three implementations are deterministic discrete-event simulations:
+/// `search` runs one query to quiescence in virtual time and reports the
+/// message/latency cost it incurred.
+pub trait PeerNetwork {
+    /// Substrate name as it appears in the community schema's `protocol`
+    /// enumeration (Fig. 3): `Napster`, `Gnutella` or `FastTrack`.
+    fn protocol_name(&self) -> &'static str;
+
+    /// Number of peers (dense ids `0..peer_count`).
+    fn peer_count(&self) -> usize;
+
+    /// Is the peer currently online?
+    fn is_alive(&self, peer: PeerId) -> bool;
+
+    /// Sets a peer online/offline (churn control).
+    fn set_alive(&mut self, peer: PeerId, alive: bool);
+
+    /// Shares a resource record from `provider` (create primitive). The
+    /// metadata becomes discoverable; the object itself stays at the
+    /// provider until retrieved.
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord);
+
+    /// Withdraws a shared record.
+    fn unpublish(&mut self, provider: PeerId, key: &str);
+
+    /// Issues a metadata query from `origin` scoped to `community`,
+    /// simulating propagation to quiescence.
+    fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome;
+
+    /// Downloads the object `key` from `provider` (learned from a search
+    /// hit).
+    fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// Zeroes the statistics (between experiment phases).
+    fn reset_stats(&mut self);
+}
+
+/// Which substrate to build — mirrors the `protocol` field of the
+/// community schema in Fig. 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Centralized index server (Napster).
+    Napster,
+    /// TTL-limited flooding over an overlay (Gnutella).
+    Gnutella,
+    /// Two-tier super-peer network (FastTrack).
+    FastTrack,
+}
+
+impl ProtocolKind {
+    /// Parses the schema enumeration value (empty string maps to
+    /// `Gnutella`, the paper's default-flavored decentralized choice).
+    pub fn from_schema_value(v: &str) -> Option<ProtocolKind> {
+        match v {
+            "" | "Gnutella" => Some(ProtocolKind::Gnutella),
+            "Napster" => Some(ProtocolKind::Napster),
+            "FastTrack" => Some(ProtocolKind::FastTrack),
+            _ => None,
+        }
+    }
+
+    /// The schema enumeration value.
+    pub fn schema_value(self) -> &'static str {
+        match self {
+            ProtocolKind::Napster => "Napster",
+            ProtocolKind::Gnutella => "Gnutella",
+            ProtocolKind::FastTrack => "FastTrack",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.schema_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_values_round_trip() {
+        for p in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+            assert_eq!(ProtocolKind::from_schema_value(p.schema_value()), Some(p));
+        }
+        assert_eq!(ProtocolKind::from_schema_value(""), Some(ProtocolKind::Gnutella));
+        assert_eq!(ProtocolKind::from_schema_value("Kazaa"), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the simulated substrates: determinism, message
+//! bounds, and cross-protocol agreement on search results.
+
+use proptest::prelude::*;
+use up2p_net::{
+    build_network, ConstantLatency, FloodingConfig, FloodingNetwork, PeerId, PeerNetwork,
+    ProtocolKind, ResourceRecord, Topology,
+};
+use up2p_store::Query;
+
+fn record(key: &str, name: &str) -> ResourceRecord {
+    ResourceRecord {
+        key: key.to_string(),
+        community: "c".to_string(),
+        fields: vec![("o/name".to_string(), name.to_string())],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With duplicate suppression, forwarded queries cross each overlay
+    /// edge at most once per direction: total messages are bounded by
+    /// 2·|E| plus the hit back-propagation (≤ hits · ttl hops).
+    #[test]
+    fn flooding_message_bound(
+        n in 8usize..64,
+        k in 1usize..3,
+        seed in 0u64..500,
+        origin in 0u32..8,
+    ) {
+        let topo = Topology::small_world(n, k, 0.2, seed);
+        let edges = topo.edge_count() as u64;
+        let mut net = FloodingNetwork::new(
+            topo, Box::new(ConstantLatency(1_000)), FloodingConfig::default());
+        net.publish(PeerId((n as u32).saturating_sub(1)), record("k", "target"));
+        let out = net.search(PeerId(origin % n as u32), "c", &Query::any_keyword("target"));
+        let hit_budget = out.hits.len() as u64 * 8;
+        prop_assert!(
+            out.messages <= edges * 2 + hit_budget,
+            "messages {} > bound {} (edges {})",
+            out.messages, edges * 2 + hit_budget, edges
+        );
+    }
+
+    /// Identical seeds produce identical outcomes (full determinism).
+    #[test]
+    fn deterministic_given_seed(
+        kind_idx in 0usize..3,
+        n in 8usize..64,
+        seed in 0u64..500,
+    ) {
+        let kind = [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack][kind_idx];
+        let run = || {
+            let mut net = build_network(kind, n, seed);
+            net.publish(PeerId(1), record("k", "target"));
+            let out = net.search(PeerId((n - 1) as u32), "c", &Query::any_keyword("target"));
+            (out.hits.len(), out.messages, out.latency, out.first_hit_latency)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// All three protocols agree on *what* exists when everyone is alive
+    /// and the overlay is within TTL reach (they differ only in cost).
+    #[test]
+    fn protocols_agree_on_results(n in 16usize..48, seed in 0u64..200, provider in 1u32..10) {
+        let mut found = Vec::new();
+        for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+            let mut net = build_network(kind, n, seed);
+            net.publish(PeerId(provider % n as u32), record("k", "needle"));
+            let out = net.search(PeerId(0), "c", &Query::any_keyword("needle"));
+            found.push(out.distinct_keys());
+        }
+        // small-world @ TTL 7 covers n ≤ 48 comfortably
+        prop_assert_eq!(&found, &vec![1, 1, 1]);
+    }
+
+    /// Searching for something never published finds nothing, on every
+    /// substrate, and queries never panic.
+    #[test]
+    fn absent_objects_never_found(n in 4usize..40, seed in 0u64..200) {
+        for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+            let mut net = build_network(kind, n, seed);
+            net.publish(PeerId(0), record("k", "exists"));
+            let out = net.search(PeerId(0), "c", &Query::any_keyword("missing"));
+            prop_assert!(out.hits.is_empty());
+            // wrong community also yields nothing
+            let out = net.search(PeerId(0), "other", &Query::any_keyword("exists"));
+            prop_assert!(out.hits.is_empty());
+        }
+    }
+
+    /// More replicas never decreases the number of hits (monotonicity the
+    /// replication experiment E5 rests on).
+    #[test]
+    fn replication_monotone(n in 16usize..48, seed in 0u64..100, r1 in 1usize..4, extra in 1usize..4) {
+        let r2 = r1 + extra;
+        let hits_with = |replicas: usize| {
+            let mut net = build_network(ProtocolKind::Gnutella, n, seed);
+            for i in 0..replicas {
+                net.publish(PeerId((i * 3 % n) as u32), record("k", "needle"));
+            }
+            let out = net.search(PeerId((n - 1) as u32), "c", &Query::any_keyword("needle"));
+            out.hits.len()
+        };
+        prop_assert!(hits_with(r2) >= hits_with(r1));
+    }
+}

@@ -1,0 +1,325 @@
+//! Programmatic schema construction — the "web-based tool for generating
+//! XML Schema" from the paper's conclusion, as an API.
+//!
+//! Community designers with domain knowledge but no XSD expertise describe
+//! their object's fields; the builder emits a valid community [`Schema`]
+//! with searchable/attachment markers in place.
+//!
+//! ```
+//! use up2p_schema::{SchemaBuilder, FieldKind};
+//!
+//! let schema = SchemaBuilder::new("song")
+//!     .field(FieldKind::text("title").searchable())
+//!     .field(FieldKind::text("artist").searchable())
+//!     .field(FieldKind::enumeration("genre", ["rock", "jazz", "folk"]).searchable())
+//!     .field(FieldKind::integer("year").optional())
+//!     .field(FieldKind::uri("audio").attachment())
+//!     .build();
+//! assert_eq!(schema.root_element().unwrap().name, "song");
+//! ```
+
+use crate::model::{
+    ComplexType, ElementDecl, Facets, Occurs, Particle, Schema, SimpleTypeDef, TypeRef,
+};
+use crate::types::BuiltinType;
+
+/// Specification of a single field, built with the `FieldKind::*`
+/// constructors and chainable modifiers.
+#[derive(Debug, Clone)]
+pub struct FieldKind {
+    name: String,
+    body: FieldBody,
+    min: u32,
+    max: Occurs,
+    searchable: bool,
+    attachment: bool,
+}
+
+#[derive(Debug, Clone)]
+enum FieldBody {
+    Simple(SimpleTypeDef),
+    Nested(Vec<FieldKind>),
+}
+
+impl FieldKind {
+    fn simple(name: impl Into<String>, st: SimpleTypeDef) -> Self {
+        FieldKind {
+            name: name.into(),
+            body: FieldBody::Simple(st),
+            min: 1,
+            max: Occurs::Bounded(1),
+            searchable: false,
+            attachment: false,
+        }
+    }
+
+    /// A free-text field (`xsd:string`).
+    pub fn text(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::String))
+    }
+
+    /// An integer field.
+    pub fn integer(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::Integer))
+    }
+
+    /// A decimal field.
+    pub fn decimal(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::Decimal))
+    }
+
+    /// A boolean field.
+    pub fn boolean(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::Boolean))
+    }
+
+    /// A URI field (`xsd:anyURI`).
+    pub fn uri(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::AnyUri))
+    }
+
+    /// A date field (`YYYY-MM-DD`).
+    pub fn date(name: impl Into<String>) -> Self {
+        Self::simple(name, SimpleTypeDef::plain(BuiltinType::Date))
+    }
+
+    /// A closed-vocabulary field (string restricted by enumeration).
+    pub fn enumeration<I, S>(name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::simple(
+            name,
+            SimpleTypeDef {
+                base: BuiltinType::String,
+                facets: Facets {
+                    enumeration: values.into_iter().map(Into::into).collect(),
+                    ..Facets::default()
+                },
+            },
+        )
+    }
+
+    /// A nested group of sub-fields (inline complex type).
+    pub fn nested<I: IntoIterator<Item = FieldKind>>(
+        name: impl Into<String>,
+        fields: I,
+    ) -> Self {
+        FieldKind {
+            name: name.into(),
+            body: FieldBody::Nested(fields.into_iter().collect()),
+            min: 1,
+            max: Occurs::Bounded(1),
+            searchable: false,
+            attachment: false,
+        }
+    }
+
+    /// Marks the field searchable (`up2p:searchable`).
+    pub fn searchable(mut self) -> Self {
+        self.searchable = true;
+        self
+    }
+
+    /// Marks the field as an attachment URI (`up2p:attachment`).
+    pub fn attachment(mut self) -> Self {
+        self.attachment = true;
+        self
+    }
+
+    /// Allows the field to be absent (`minOccurs="0"`).
+    pub fn optional(mut self) -> Self {
+        self.min = 0;
+        self
+    }
+
+    /// Allows the field to repeat (`maxOccurs="unbounded"`).
+    pub fn repeated(mut self) -> Self {
+        self.max = Occurs::Unbounded;
+        self
+    }
+
+    fn into_decl(self) -> ElementDecl {
+        let type_ref = match self.body {
+            FieldBody::Simple(st) => {
+                if st.facets.is_empty() {
+                    TypeRef::Builtin(st.base)
+                } else {
+                    TypeRef::InlineSimple(Box::new(st))
+                }
+            }
+            FieldBody::Nested(fields) => TypeRef::InlineComplex(Box::new(ComplexType {
+                particle: Some(Particle::Sequence {
+                    items: fields
+                        .into_iter()
+                        .map(|f| Particle::Element(f.into_decl()))
+                        .collect(),
+                    min_occurs: 1,
+                    max_occurs: Occurs::Bounded(1),
+                }),
+                attributes: Vec::new(),
+                mixed: false,
+            })),
+        };
+        ElementDecl {
+            name: self.name,
+            type_ref,
+            min_occurs: self.min,
+            max_occurs: self.max,
+            searchable: self.searchable,
+            attachment: self.attachment,
+        }
+    }
+}
+
+/// Non-consuming builder assembling a flat (or nested) community schema.
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    root_name: String,
+    fields: Vec<FieldKind>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema whose instances use `root_name` as document
+    /// element.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        SchemaBuilder { root_name: root_name.into(), fields: Vec::new() }
+    }
+
+    /// Adds a field (order is the instance document order).
+    pub fn field(&mut self, field: FieldKind) -> &mut Self {
+        self.fields.push(field);
+        self
+    }
+
+    /// Builds the [`Schema`].
+    pub fn build(&self) -> Schema {
+        let items = self
+            .fields
+            .iter()
+            .cloned()
+            .map(|f| Particle::Element(f.into_decl()))
+            .collect();
+        let root = ElementDecl {
+            name: self.root_name.clone(),
+            type_ref: TypeRef::InlineComplex(Box::new(ComplexType {
+                particle: Some(Particle::Sequence {
+                    items,
+                    min_occurs: 1,
+                    max_occurs: Occurs::Bounded(1),
+                }),
+                attributes: Vec::new(),
+                mixed: false,
+            })),
+            min_occurs: 1,
+            max_occurs: Occurs::Bounded(1),
+            searchable: false,
+            attachment: false,
+        };
+        Schema { root_elements: vec![root], ..Schema::default() }
+    }
+
+    /// Builds and serializes to XSD text in one step.
+    pub fn to_xsd(&self) -> String {
+        crate::writer::write_schema_string(&self.build())
+    }
+}
+
+// `field` takes &mut self for ergonomic loops; allow one-liner chains too.
+impl Extend<FieldKind> for SchemaBuilder {
+    fn extend<T: IntoIterator<Item = FieldKind>>(&mut self, iter: T) {
+        self.fields.extend(iter);
+    }
+}
+
+impl FieldKind {
+    /// The field's name (exposed for tooling that lists fields).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema_str;
+    use crate::searchable::searchable_fields;
+    use crate::validator::Validator;
+    use up2p_xml::Document;
+
+    #[test]
+    fn built_schema_validates_instances() {
+        let mut b = SchemaBuilder::new("song");
+        b.field(FieldKind::text("title").searchable())
+            .field(FieldKind::text("artist").searchable())
+            .field(FieldKind::integer("year").optional())
+            .field(FieldKind::uri("audio").attachment());
+        let schema = b.build();
+        let v = Validator::new(&schema);
+        let ok = Document::parse(
+            "<song><title>So What</title><artist>Miles Davis</artist>\
+             <year>1959</year><audio>file://kind-of-blue/1</audio></song>",
+        )
+        .unwrap();
+        assert!(v.validate(&ok).is_ok());
+        let bad = Document::parse(
+            "<song><title>So What</title><artist>Miles Davis</artist>\
+             <year>nineteen</year><audio>file://x</audio></song>",
+        )
+        .unwrap();
+        assert!(v.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn built_schema_round_trips_through_xsd_text() {
+        let mut b = SchemaBuilder::new("molecule");
+        b.field(FieldKind::text("formula").searchable())
+            .field(FieldKind::enumeration("phase", ["solid", "liquid", "gas"]))
+            .field(FieldKind::decimal("weight").optional())
+            .field(FieldKind::nested(
+                "bonds",
+                [FieldKind::text("bond").repeated().optional()],
+            ));
+        let schema = b.build();
+        let reparsed = parse_schema_str(&b.to_xsd()).unwrap();
+        assert_eq!(schema, reparsed);
+    }
+
+    #[test]
+    fn searchable_markers_flow_through() {
+        let mut b = SchemaBuilder::new("gene");
+        b.field(FieldKind::text("symbol").searchable())
+            .field(FieldKind::text("sequence"));
+        let schema = b.build();
+        let fields = searchable_fields(&schema);
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].path, "gene/symbol");
+    }
+
+    #[test]
+    fn enumeration_restricts_values() {
+        let mut b = SchemaBuilder::new("x");
+        b.field(FieldKind::enumeration("protocol", ["Napster", "Gnutella"]));
+        let schema = b.build();
+        let v = Validator::new(&schema);
+        assert!(v
+            .validate(&Document::parse("<x><protocol>Napster</protocol></x>").unwrap())
+            .is_ok());
+        assert!(v
+            .validate(&Document::parse("<x><protocol>Kazaa</protocol></x>").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_optional_fields() {
+        let mut b = SchemaBuilder::new("doc");
+        b.field(FieldKind::text("tag").optional().repeated());
+        let schema = b.build();
+        let v = Validator::new(&schema);
+        assert!(v.validate(&Document::parse("<doc/>").unwrap()).is_ok());
+        assert!(v
+            .validate(&Document::parse("<doc><tag>a</tag><tag>b</tag><tag>c</tag></doc>").unwrap())
+            .is_ok());
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for schema parsing and instance validation.
+
+use std::fmt;
+
+/// Error raised while turning an XSD document into a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemaError {
+    message: String,
+}
+
+impl ParseSchemaError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseSchemaError { message: message.into() }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSchemaError {}
+
+/// A single validation problem found in an instance document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Slash-separated element path from the root, e.g.
+    /// `community/protocol`.
+    pub path: String,
+    /// What went wrong at that path.
+    pub kind: ValidationErrorKind,
+}
+
+/// The specific validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    /// Root element name did not match any global element declaration.
+    UnknownRootElement(String),
+    /// An element appeared that the content model does not allow.
+    UnexpectedElement(String),
+    /// A required element is missing.
+    MissingElement(String),
+    /// Content model mismatch with a description.
+    ContentModel(String),
+    /// A simple-typed value failed its base type check.
+    InvalidValue {
+        /// The offending value.
+        value: String,
+        /// The expected built-in type, e.g. `xsd:integer`.
+        expected: String,
+    },
+    /// A facet (enumeration, pattern, length, range) was violated.
+    FacetViolation {
+        /// The offending value.
+        value: String,
+        /// Description of the violated facet, e.g. `enumeration`.
+        facet: String,
+    },
+    /// A required attribute is missing.
+    MissingAttribute(String),
+    /// An attribute not declared in the schema (only reported for
+    /// non-namespace attributes).
+    UnexpectedAttribute(String),
+    /// Reference to a type the schema does not define.
+    UnknownType(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ValidationErrorKind::UnknownRootElement(n) => {
+                write!(f, "{}: unknown root element <{n}>", self.path)
+            }
+            ValidationErrorKind::UnexpectedElement(n) => {
+                write!(f, "{}: unexpected element <{n}>", self.path)
+            }
+            ValidationErrorKind::MissingElement(n) => {
+                write!(f, "{}: missing required element <{n}>", self.path)
+            }
+            ValidationErrorKind::ContentModel(d) => write!(f, "{}: {d}", self.path),
+            ValidationErrorKind::InvalidValue { value, expected } => {
+                write!(f, "{}: value {value:?} is not a valid {expected}", self.path)
+            }
+            ValidationErrorKind::FacetViolation { value, facet } => {
+                write!(f, "{}: value {value:?} violates {facet}", self.path)
+            }
+            ValidationErrorKind::MissingAttribute(n) => {
+                write!(f, "{}: missing required attribute {n:?}", self.path)
+            }
+            ValidationErrorKind::UnexpectedAttribute(n) => {
+                write!(f, "{}: unexpected attribute {n:?}", self.path)
+            }
+            ValidationErrorKind::UnknownType(t) => {
+                write!(f, "{}: reference to unknown type {t:?}", self.path)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ValidationError {
+            path: "community/protocol".into(),
+            kind: ValidationErrorKind::FacetViolation {
+                value: "Kazaa".into(),
+                facet: "enumeration".into(),
+            },
+        };
+        assert_eq!(e.to_string(), "community/protocol: value \"Kazaa\" violates enumeration");
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseSchemaError::new("element without name");
+        assert_eq!(e.to_string(), "schema error: element without name");
+    }
+}

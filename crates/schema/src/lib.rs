@@ -1,0 +1,58 @@
+//! # up2p-schema
+//!
+//! XML Schema (XSD) subset for the U-P2P reproduction: schema object model,
+//! XSD parser, instance validator, built-in types, restriction facets
+//! (including a small anchored regex engine for `pattern`), searchable-
+//! field extraction, XSD writer and a programmatic schema builder.
+//!
+//! In U-P2P (Mukherjee et al., ICDCS 2002) *the schema is the community*:
+//! it defines the shared object, drives generated create/search/view
+//! interfaces, and is itself shared as an object in the bootstrap "root
+//! community". This crate provides everything the framework needs to treat
+//! schemas as first-class data.
+//!
+//! ```
+//! use up2p_schema::{parse_schema_str, searchable_fields, Validator};
+//! use up2p_xml::Document;
+//!
+//! let schema = parse_schema_str(r#"
+//!   <schema xmlns="http://www.w3.org/2001/XMLSchema"
+//!           xmlns:up2p="http://up2p.sce.carleton.ca/ns">
+//!     <element name="pattern"><complexType><sequence>
+//!       <element name="name" type="xsd:string" up2p:searchable="true"/>
+//!       <element name="intent" type="xsd:string" up2p:searchable="true"/>
+//!     </sequence></complexType></element>
+//!   </schema>"#)?;
+//!
+//! let instance = Document::parse(
+//!     "<pattern><name>Observer</name><intent>notify dependents</intent></pattern>")?;
+//! Validator::new(&schema).validate(&instance).unwrap();
+//! assert_eq!(searchable_fields(&schema).len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod error;
+mod model;
+mod parser;
+mod regex;
+mod searchable;
+mod types;
+mod validator;
+mod writer;
+
+pub use builder::{FieldKind, SchemaBuilder};
+pub use error::{ParseSchemaError, ValidationError, ValidationErrorKind};
+pub use model::{
+    AttributeDecl, ComplexType, ElementDecl, Facets, Occurs, Particle, Schema, SimpleTypeDef,
+    TypeRef,
+};
+pub use parser::{parse_schema, parse_schema_str};
+pub use regex::Regex;
+pub use searchable::{attachment_fields, leaf_fields, searchable_fields, Field};
+pub use types::BuiltinType;
+pub use validator::Validator;
+pub use writer::{write_schema, write_schema_string};

@@ -1,0 +1,458 @@
+//! A small anchored regular-expression engine for the XSD `pattern` facet.
+//!
+//! XML Schema patterns are implicitly anchored at both ends, so this engine
+//! always matches the *whole* input. Supported syntax: literal characters,
+//! `.`, escapes (`\d \D \w \W \s \S \n \t \r \\ \. \- \[ \] \( \) \* \+ \?
+//! \{ \} \|`), character classes `[a-z0-9_]` with ranges and negation,
+//! groups `( )`, alternation `|`, and the quantifiers `* + ? {n} {n,} {n,m}`.
+//!
+//! ```
+//! use up2p_schema::Regex;
+//! let re = Regex::parse(r"[A-Z][a-z]+( [A-Z][a-z]+)*")?;
+//! assert!(re.is_match("Abstract Factory"));
+//! assert!(!re.is_match("abstract factory"));
+//! # Ok::<(), up2p_schema::ParseSchemaError>(())
+//! ```
+
+use crate::error::ParseSchemaError;
+
+/// A compiled, anchored regular expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    node: Node,
+    source: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Empty string.
+    Empty,
+    /// A single character matcher.
+    Char(CharClass),
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// Alternation between branches.
+    Alt(Vec<Node>),
+    /// Repetition of the inner node between `min` and `max` (inclusive;
+    /// `None` = unbounded) times.
+    Repeat { inner: Box<Node>, min: u32, max: Option<u32> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CharClass {
+    Literal(char),
+    Any,
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+    /// Explicit set: (negated, single chars, ranges)
+    Set { negated: bool, chars: Vec<char>, ranges: Vec<(char, char)> },
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => c != '\n',
+            CharClass::Digit(pos) => c.is_ascii_digit() == *pos,
+            CharClass::Word(pos) => (c.is_alphanumeric() || c == '_') == *pos,
+            CharClass::Space(pos) => c.is_whitespace() == *pos,
+            CharClass::Set { negated, chars, ranges } => {
+                let inside =
+                    chars.contains(&c) || ranges.iter().any(|&(a, b)| c >= a && c <= b);
+                inside != *negated
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSchemaError`] for malformed patterns (unbalanced
+    /// groups, bad ranges, dangling quantifiers, ...).
+    pub fn parse(pattern: &str) -> Result<Regex, ParseSchemaError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = PatternParser { chars, pos: 0 };
+        let node = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(ParseSchemaError::new(format!(
+                "unexpected {:?} in pattern {pattern:?}",
+                p.chars[p.pos]
+            )));
+        }
+        Ok(Regex { node, source: pattern.to_string() })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the pattern match the *entire* input (XSD anchoring)?
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        match_node(&self.node, &chars, 0, &mut |end| end == chars.len())
+    }
+}
+
+impl std::fmt::Display for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.source)
+    }
+}
+
+/// Backtracking matcher: tries to match `node` at `pos`, invoking `k` with
+/// each candidate end position until `k` returns true.
+fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(class) => {
+            if pos < input.len() && class.matches(input[pos]) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::Seq(parts) => match_seq(parts, input, pos, k),
+        Node::Alt(branches) => branches.iter().any(|b| match_node(b, input, pos, k)),
+        Node::Repeat { inner, min, max } => {
+            match_repeat(inner, *min, *max, input, pos, 0, k)
+        }
+    }
+}
+
+fn match_seq(
+    parts: &[Node],
+    input: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match parts.split_first() {
+        None => k(pos),
+        Some((head, tail)) => {
+            match_node(head, input, pos, &mut |next| match_seq(tail, input, next, k))
+        }
+    }
+}
+
+fn match_repeat(
+    inner: &Node,
+    min: u32,
+    max: Option<u32>,
+    input: &[char],
+    pos: usize,
+    done: u32,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // greedy: try one more repetition first (when allowed), then yield
+    let can_more = max.is_none_or(|m| done < m);
+    if can_more
+        && match_node(inner, input, pos, &mut |next| {
+            // zero-width progress guard prevents infinite loops on `()*`
+            next != pos && match_repeat(inner, min, max, input, next, done + 1, k)
+        })
+    {
+        return true;
+    }
+    if done >= min {
+        return k(pos);
+    }
+    false
+}
+
+struct PatternParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatternParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, ParseSchemaError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Node::Alt(branches) })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, ParseSchemaError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Node::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Node::Seq(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, ParseSchemaError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat { inner: Box::new(atom), min: 0, max: None })
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat { inner: Box::new(atom), min: 1, max: None })
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat { inner: Box::new(atom), min: 0, max: Some(1) })
+            }
+            Some('{') => {
+                self.bump();
+                let mut digits = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    digits.push(self.bump().unwrap());
+                }
+                let min: u32 = digits
+                    .parse()
+                    .map_err(|_| ParseSchemaError::new("invalid repetition count"))?;
+                let max = match self.bump() {
+                    Some('}') => Some(min),
+                    Some(',') => {
+                        let mut d2 = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            d2.push(self.bump().unwrap());
+                        }
+                        if self.bump() != Some('}') {
+                            return Err(ParseSchemaError::new("unterminated {m,n}"));
+                        }
+                        if d2.is_empty() {
+                            None
+                        } else {
+                            Some(
+                                d2.parse().map_err(|_| {
+                                    ParseSchemaError::new("invalid repetition count")
+                                })?,
+                            )
+                        }
+                    }
+                    _ => return Err(ParseSchemaError::new("unterminated {m,n}")),
+                };
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(ParseSchemaError::new("repetition max below min"));
+                    }
+                }
+                Ok(Node::Repeat { inner: Box::new(atom), min, max })
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, ParseSchemaError> {
+        match self.bump() {
+            None => Err(ParseSchemaError::new("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(ParseSchemaError::new("unbalanced group"));
+                }
+                Ok(inner)
+            }
+            Some('.') => Ok(Node::Char(CharClass::Any)),
+            Some('[') => self.parse_class(),
+            Some('\\') => Ok(Node::Char(self.parse_escape()?)),
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                Err(ParseSchemaError::new(format!("dangling quantifier {c:?}")))
+            }
+            Some(c) => Ok(Node::Char(CharClass::Literal(c))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<CharClass, ParseSchemaError> {
+        match self.bump() {
+            None => Err(ParseSchemaError::new("dangling escape")),
+            Some('d') => Ok(CharClass::Digit(true)),
+            Some('D') => Ok(CharClass::Digit(false)),
+            Some('w') => Ok(CharClass::Word(true)),
+            Some('W') => Ok(CharClass::Word(false)),
+            Some('s') => Ok(CharClass::Space(true)),
+            Some('S') => Ok(CharClass::Space(false)),
+            Some('n') => Ok(CharClass::Literal('\n')),
+            Some('t') => Ok(CharClass::Literal('\t')),
+            Some('r') => Ok(CharClass::Literal('\r')),
+            Some(c) => Ok(CharClass::Literal(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, ParseSchemaError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut chars = Vec::new();
+        let mut ranges = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseSchemaError::new("unterminated character class")),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape()? {
+                    CharClass::Literal(c) => chars.push(c),
+                    CharClass::Digit(true) => ranges.push(('0', '9')),
+                    CharClass::Word(true) => {
+                        ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9')]);
+                        chars.push('_');
+                    }
+                    CharClass::Space(true) => chars.extend([' ', '\t', '\n', '\r']),
+                    _ => {
+                        return Err(ParseSchemaError::new(
+                            "negated escape not supported inside class",
+                        ))
+                    }
+                },
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump() {
+                            Some('\\') => match self.parse_escape()? {
+                                CharClass::Literal(h) => h,
+                                _ => {
+                                    return Err(ParseSchemaError::new(
+                                        "class shorthand cannot end a range",
+                                    ))
+                                }
+                            },
+                            Some(h) => h,
+                            None => {
+                                return Err(ParseSchemaError::new(
+                                    "unterminated character class",
+                                ))
+                            }
+                        };
+                        if hi < c {
+                            return Err(ParseSchemaError::new(format!(
+                                "invalid range {c}-{hi}"
+                            )));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        chars.push(c);
+                    }
+                }
+            }
+        }
+        Ok(Node::Char(CharClass::Set { negated, chars, ranges }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(p: &str, s: &str) -> bool {
+        Regex::parse(p).unwrap().is_match(s)
+    }
+
+    #[test]
+    fn literals_are_anchored() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "xabc"));
+        assert!(!m("abc", "abcx"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("a*", ""));
+        assert!(m("a*", "aaaa"));
+        assert!(m("a+", "a"));
+        assert!(!m("a+", ""));
+        assert!(m("a?b", "b"));
+        assert!(m("a?b", "ab"));
+        assert!(!m("a?b", "aab"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("a{3}", "aa"));
+        assert!(m("a{2,4}", "aaa"));
+        assert!(!m("a{2,4}", "aaaaa"));
+        assert!(m("a{2,}", "aaaaaaa"));
+        assert!(!m("a{2,}", "a"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "dog"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(!m("(ab)+", "aba"));
+        assert!(m("a(b|c)d", "acd"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(m(r"\d{4}-\d{2}-\d{2}", "2002-02-14"));
+        assert!(!m(r"\d{4}-\d{2}-\d{2}", "02-02-14"));
+        assert!(m(r"[a-z]+", "gnutella"));
+        assert!(!m(r"[a-z]+", "Gnutella"));
+        assert!(m(r"[A-Za-z ]+", "Abstract Factory"));
+        assert!(m(r"[^0-9]+", "abc"));
+        assert!(!m(r"[^0-9]+", "a1c"));
+        assert!(m(r"\w+\s\w+", "hello world"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m("a.c", "axc"));
+    }
+
+    #[test]
+    fn dash_at_class_end_is_literal() {
+        assert!(m(r"[a-]+", "a-a-"));
+    }
+
+    #[test]
+    fn zero_width_star_terminates() {
+        // must not hang
+        assert!(m("(a?)*b", "b"));
+        assert!(m("(a?)*b", "aab"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(ab").is_err());
+        assert!(Regex::parse("[ab").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("a{3,1}").is_err());
+        assert!(Regex::parse("a{x}").is_err());
+        assert!(Regex::parse("a)").is_err());
+    }
+
+    #[test]
+    fn uri_like_pattern() {
+        let re = Regex::parse(r"(http|file)://\S+").unwrap();
+        assert!(re.is_match("http://up2p.example/schema.xsd"));
+        assert!(re.is_match("file://patterns/observer.xml"));
+        assert!(!re.is_match("ftp://other"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_only() {
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Extraction of searchable / indexable fields from a community schema.
+//!
+//! The paper (§IV-C2) requires schema authors to mark fields as searchable;
+//! only those fields appear on generated search forms and in the metadata
+//! index. Fig. 3's bootstrap community schema predates the marking
+//! convention, so when a schema marks *no* field we default to "all textual
+//! leaf fields are searchable" — this keeps the bootstrap community (and
+//! other 2002-era schemas) searchable and is recorded as a deviation in
+//! DESIGN.md.
+
+use crate::model::{ElementDecl, Particle, Schema, TypeRef};
+use crate::types::BuiltinType;
+use std::collections::HashSet;
+
+/// A leaf field of a community schema, as used by forms and the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Slash-separated element path from the root element, e.g.
+    /// `community/name`.
+    pub path: String,
+    /// Leaf element name.
+    pub name: String,
+    /// Base built-in type of the leaf.
+    pub base: BuiltinType,
+    /// Allowed values when the leaf is an enumeration, else empty.
+    pub enumeration: Vec<String>,
+    /// Marked `up2p:searchable`.
+    pub searchable: bool,
+    /// Marked `up2p:attachment`.
+    pub attachment: bool,
+    /// `minOccurs == 0`.
+    pub optional: bool,
+    /// `maxOccurs > 1`.
+    pub repeated: bool,
+}
+
+/// Collects every simple-typed leaf field of the schema's root element,
+/// in document order.
+pub fn leaf_fields(schema: &Schema) -> Vec<Field> {
+    let mut out = Vec::new();
+    if let Some(root) = schema.root_element() {
+        let mut visited = HashSet::new();
+        walk_decl(schema, root, root.name.clone(), &mut out, &mut visited, 0);
+    }
+    out
+}
+
+/// The fields that should appear on search forms and in the metadata
+/// index: those marked searchable, or — when none is marked — every
+/// textual leaf.
+pub fn searchable_fields(schema: &Schema) -> Vec<Field> {
+    let all = leaf_fields(schema);
+    let marked: Vec<Field> = all.iter().filter(|f| f.searchable).cloned().collect();
+    if !marked.is_empty() {
+        return marked;
+    }
+    all.into_iter().filter(|f| f.base.is_textual()).collect()
+}
+
+/// Fields holding attachment URIs (paper §IV-C1: downloaded only when the
+/// object is retrieved).
+pub fn attachment_fields(schema: &Schema) -> Vec<Field> {
+    leaf_fields(schema).into_iter().filter(|f| f.attachment).collect()
+}
+
+fn walk_decl(
+    schema: &Schema,
+    decl: &ElementDecl,
+    path: String,
+    out: &mut Vec<Field>,
+    visited: &mut HashSet<String>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return; // recursive schema guard
+    }
+    let mut push_leaf = |base: BuiltinType, enumeration: Vec<String>| {
+        out.push(Field {
+            path: path.clone(),
+            name: decl.name.clone(),
+            base,
+            enumeration,
+            searchable: decl.searchable,
+            attachment: decl.attachment,
+            optional: decl.min_occurs == 0,
+            repeated: !matches!(decl.max_occurs, crate::model::Occurs::Bounded(0 | 1)),
+        })
+    };
+    match &decl.type_ref {
+        TypeRef::Builtin(b) => push_leaf(*b, Vec::new()),
+        TypeRef::InlineSimple(st) => push_leaf(st.base, st.facets.enumeration.clone()),
+        TypeRef::InlineComplex(ct) => {
+            if let Some(p) = &ct.particle {
+                walk_particle(schema, p, &path, out, visited, depth);
+            }
+        }
+        TypeRef::Named(name) => {
+            if let Some(st) = schema.simple_type(name) {
+                push_leaf(st.base, st.facets.enumeration.clone());
+            } else if let Some(ct) = schema.complex_type(name) {
+                if visited.insert(name.clone()) {
+                    if let Some(p) = &ct.particle {
+                        walk_particle(schema, p, &path, out, visited, depth);
+                    }
+                    visited.remove(name);
+                }
+            }
+        }
+    }
+}
+
+fn walk_particle(
+    schema: &Schema,
+    particle: &Particle,
+    path: &str,
+    out: &mut Vec<Field>,
+    visited: &mut HashSet<String>,
+    depth: usize,
+) {
+    match particle {
+        Particle::Element(d) => {
+            walk_decl(schema, d, format!("{path}/{}", d.name), out, visited, depth + 1)
+        }
+        Particle::Sequence { items, .. } | Particle::Choice { items, .. } => {
+            for item in items {
+                walk_particle(schema, item, path, out, visited, depth);
+            }
+        }
+        Particle::All { items } => {
+            for d in items {
+                walk_decl(schema, d, format!("{path}/{}", d.name), out, visited, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema_str;
+
+    #[test]
+    fn fig3_defaults_to_textual_leaves() {
+        let s = parse_schema_str(crate::parser::tests::FIG3).unwrap();
+        let leaves = leaf_fields(&s);
+        assert_eq!(leaves.len(), 10);
+        assert_eq!(leaves[0].path, "community/name");
+        let searchable = searchable_fields(&s);
+        // anyURI fields are not textual → name, description, keywords,
+        // category, security, protocol (protocol is a string enumeration)
+        let names: Vec<&str> = searchable.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["name", "description", "keywords", "category", "security", "protocol"]
+        );
+        let protocol = searchable.iter().find(|f| f.name == "protocol").unwrap();
+        assert_eq!(protocol.enumeration.len(), 4);
+    }
+
+    #[test]
+    fn explicit_markers_win_over_default() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema"
+                       xmlns:up2p="http://up2p.sce.carleton.ca/ns">
+              <element name="song"><complexType><sequence>
+                <element name="title" type="xsd:string" up2p:searchable="true"/>
+                <element name="lyrics" type="xsd:string"/>
+                <element name="data" type="xsd:anyURI" up2p:attachment="true"/>
+              </sequence></complexType></element></schema>"#,
+        )
+        .unwrap();
+        let searchable = searchable_fields(&s);
+        assert_eq!(searchable.len(), 1);
+        assert_eq!(searchable[0].name, "title");
+        let atts = attachment_fields(&s);
+        assert_eq!(atts.len(), 1);
+        assert_eq!(atts[0].name, "data");
+    }
+
+    #[test]
+    fn nested_paths_accumulate() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="pattern"><complexType><sequence>
+                <element name="name" type="xsd:string"/>
+                <element name="solution"><complexType><sequence>
+                  <element name="structure" type="xsd:string"/>
+                  <element name="participants" type="xsd:string" maxOccurs="unbounded"/>
+                </sequence></complexType></element>
+              </sequence></complexType></element></schema>"#,
+        )
+        .unwrap();
+        let leaves = leaf_fields(&s);
+        let paths: Vec<&str> = leaves.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "pattern/name",
+                "pattern/solution/structure",
+                "pattern/solution/participants"
+            ]
+        );
+        assert!(leaves[2].repeated);
+    }
+
+    #[test]
+    fn named_complex_types_resolved() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="doc" type="docType"/>
+              <complexType name="docType"><sequence>
+                <element name="title" type="xsd:string"/>
+              </sequence></complexType>
+            </schema>"#,
+        )
+        .unwrap();
+        let leaves = leaf_fields(&s);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].path, "doc/title");
+    }
+
+    #[test]
+    fn recursive_schema_terminates() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="node" type="nodeType"/>
+              <complexType name="nodeType"><sequence>
+                <element name="label" type="xsd:string"/>
+                <element name="child" type="nodeType" minOccurs="0"/>
+              </sequence></complexType>
+            </schema>"#,
+        )
+        .unwrap();
+        let leaves = leaf_fields(&s); // must terminate
+        assert!(leaves.iter().any(|f| f.path == "node/label"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Built-in XML Schema simple types and their value checks.
+
+use std::fmt;
+
+/// The subset of XSD built-in primitive/derived types used by U-P2P
+/// community schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinType {
+    /// `xsd:string` — any text.
+    String,
+    /// `xsd:normalizedString` / `xsd:token` — treated as string.
+    Token,
+    /// `xsd:boolean` — `true|false|1|0`.
+    Boolean,
+    /// `xsd:integer` and friends (`int`, `long`, `short`).
+    Integer,
+    /// `xsd:nonNegativeInteger` / `xsd:unsignedInt`.
+    NonNegativeInteger,
+    /// `xsd:positiveInteger`.
+    PositiveInteger,
+    /// `xsd:decimal`, `xsd:float`, `xsd:double`.
+    Decimal,
+    /// `xsd:anyURI` — loose check: non-empty-scheme-less values allowed,
+    /// whitespace rejected.
+    AnyUri,
+    /// `xsd:date` — `YYYY-MM-DD`.
+    Date,
+    /// `xsd:dateTime` — `YYYY-MM-DDThh:mm:ss` with optional zone.
+    DateTime,
+    /// `xsd:gYear` — `YYYY`.
+    GYear,
+}
+
+impl BuiltinType {
+    /// Resolves an XSD type local name (e.g. `string`, `anyURI`) to a
+    /// built-in type, if it is one this subset knows.
+    pub fn from_name(name: &str) -> Option<BuiltinType> {
+        Some(match name {
+            "string" => BuiltinType::String,
+            "normalizedString" | "token" | "Name" | "NCName" | "ID" | "IDREF" => {
+                BuiltinType::Token
+            }
+            "boolean" => BuiltinType::Boolean,
+            "integer" | "int" | "long" | "short" | "byte" => BuiltinType::Integer,
+            "nonNegativeInteger" | "unsignedInt" | "unsignedLong" | "unsignedShort" => {
+                BuiltinType::NonNegativeInteger
+            }
+            "positiveInteger" => BuiltinType::PositiveInteger,
+            "decimal" | "float" | "double" => BuiltinType::Decimal,
+            "anyURI" => BuiltinType::AnyUri,
+            "date" => BuiltinType::Date,
+            "dateTime" => BuiltinType::DateTime,
+            "gYear" => BuiltinType::GYear,
+            _ => return None,
+        })
+    }
+
+    /// The canonical XSD local name for this type.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinType::String => "string",
+            BuiltinType::Token => "token",
+            BuiltinType::Boolean => "boolean",
+            BuiltinType::Integer => "integer",
+            BuiltinType::NonNegativeInteger => "nonNegativeInteger",
+            BuiltinType::PositiveInteger => "positiveInteger",
+            BuiltinType::Decimal => "decimal",
+            BuiltinType::AnyUri => "anyURI",
+            BuiltinType::Date => "date",
+            BuiltinType::DateTime => "dateTime",
+            BuiltinType::GYear => "gYear",
+        }
+    }
+
+    /// Checks a lexical value against this type.
+    pub fn is_valid(self, value: &str) -> bool {
+        match self {
+            BuiltinType::String => true,
+            BuiltinType::Token => value == value.trim() && !value.contains('\n'),
+            BuiltinType::Boolean => matches!(value, "true" | "false" | "1" | "0"),
+            BuiltinType::Integer => parse_integer(value).is_some(),
+            BuiltinType::NonNegativeInteger => parse_integer(value).is_some_and(|i| i >= 0),
+            BuiltinType::PositiveInteger => parse_integer(value).is_some_and(|i| i > 0),
+            BuiltinType::Decimal => {
+                let v = value.trim();
+                !v.is_empty() && v.parse::<f64>().is_ok()
+            }
+            BuiltinType::AnyUri => !value.chars().any(|c| c.is_whitespace()),
+            BuiltinType::Date => is_date(value),
+            BuiltinType::DateTime => is_date_time(value),
+            BuiltinType::GYear => value.len() == 4 && value.chars().all(|c| c.is_ascii_digit()),
+        }
+    }
+
+    /// `true` for types whose values order numerically (enables min/max
+    /// facets and range queries).
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            BuiltinType::Integer
+                | BuiltinType::NonNegativeInteger
+                | BuiltinType::PositiveInteger
+                | BuiltinType::Decimal
+        )
+    }
+
+    /// `true` for types whose values are human-readable text worth
+    /// tokenizing into the metadata index.
+    pub fn is_textual(self) -> bool {
+        matches!(self, BuiltinType::String | BuiltinType::Token)
+    }
+}
+
+impl fmt::Display for BuiltinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xsd:{}", self.name())
+    }
+}
+
+fn parse_integer(value: &str) -> Option<i64> {
+    let v = value.trim();
+    if v.is_empty() {
+        return None;
+    }
+    v.parse::<i64>().ok()
+}
+
+fn is_date(value: &str) -> bool {
+    let bytes = value.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return false;
+    }
+    let year = &value[0..4];
+    let month = &value[5..7];
+    let day = &value[8..10];
+    if !year.chars().all(|c| c.is_ascii_digit())
+        || !month.chars().all(|c| c.is_ascii_digit())
+        || !day.chars().all(|c| c.is_ascii_digit())
+    {
+        return false;
+    }
+    let m: u32 = month.parse().unwrap_or(0);
+    let d: u32 = day.parse().unwrap_or(0);
+    (1..=12).contains(&m) && (1..=31).contains(&d)
+}
+
+fn is_date_time(value: &str) -> bool {
+    let Some((date, time)) = value.split_once('T') else {
+        return false;
+    };
+    if !is_date(date) {
+        return false;
+    }
+    // strip optional timezone
+    let time = time.strip_suffix('Z').unwrap_or(time);
+    let time = match (time.rfind('+'), time.rfind('-')) {
+        (Some(i), _) | (None, Some(i)) => &time[..i],
+        _ => time,
+    };
+    let parts: Vec<&str> = time.split(':').collect();
+    if parts.len() < 3 {
+        return false;
+    }
+    let h: u32 = parts[0].parse().unwrap_or(99);
+    let m: u32 = parts[1].parse().unwrap_or(99);
+    let s: f64 = parts[2].parse().unwrap_or(99.0);
+    h < 24 && m < 60 && s < 61.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in [
+            BuiltinType::String,
+            BuiltinType::Boolean,
+            BuiltinType::Integer,
+            BuiltinType::Decimal,
+            BuiltinType::AnyUri,
+            BuiltinType::Date,
+            BuiltinType::DateTime,
+            BuiltinType::GYear,
+            BuiltinType::NonNegativeInteger,
+            BuiltinType::PositiveInteger,
+        ] {
+            assert_eq!(BuiltinType::from_name(t.name()), Some(t), "{t}");
+        }
+        assert_eq!(BuiltinType::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(BuiltinType::from_name("int"), Some(BuiltinType::Integer));
+        assert_eq!(BuiltinType::from_name("double"), Some(BuiltinType::Decimal));
+        assert_eq!(BuiltinType::from_name("token"), Some(BuiltinType::Token));
+    }
+
+    #[test]
+    fn boolean_values() {
+        assert!(BuiltinType::Boolean.is_valid("true"));
+        assert!(BuiltinType::Boolean.is_valid("0"));
+        assert!(!BuiltinType::Boolean.is_valid("yes"));
+    }
+
+    #[test]
+    fn integer_values() {
+        assert!(BuiltinType::Integer.is_valid("-42"));
+        assert!(BuiltinType::Integer.is_valid(" 7 "));
+        assert!(!BuiltinType::Integer.is_valid("3.5"));
+        assert!(!BuiltinType::Integer.is_valid(""));
+        assert!(BuiltinType::NonNegativeInteger.is_valid("0"));
+        assert!(!BuiltinType::NonNegativeInteger.is_valid("-1"));
+        assert!(BuiltinType::PositiveInteger.is_valid("1"));
+        assert!(!BuiltinType::PositiveInteger.is_valid("0"));
+    }
+
+    #[test]
+    fn decimal_values() {
+        assert!(BuiltinType::Decimal.is_valid("3.25"));
+        assert!(BuiltinType::Decimal.is_valid("-1e3"));
+        assert!(!BuiltinType::Decimal.is_valid("abc"));
+    }
+
+    #[test]
+    fn uri_values() {
+        assert!(BuiltinType::AnyUri.is_valid("http://example.org/x.xsd"));
+        assert!(BuiltinType::AnyUri.is_valid("up2p:community/12ab"));
+        assert!(BuiltinType::AnyUri.is_valid("")); // empty URI is lexically fine
+        assert!(!BuiltinType::AnyUri.is_valid("has space"));
+    }
+
+    #[test]
+    fn date_values() {
+        assert!(BuiltinType::Date.is_valid("2002-02-14"));
+        assert!(!BuiltinType::Date.is_valid("2002-13-01"));
+        assert!(!BuiltinType::Date.is_valid("02-02-14"));
+        assert!(!BuiltinType::Date.is_valid("2002/02/14"));
+    }
+
+    #[test]
+    fn datetime_values() {
+        assert!(BuiltinType::DateTime.is_valid("2002-02-14T12:30:00"));
+        assert!(BuiltinType::DateTime.is_valid("2002-02-14T12:30:00Z"));
+        assert!(BuiltinType::DateTime.is_valid("2002-02-14T12:30:00-05:00"));
+        assert!(!BuiltinType::DateTime.is_valid("2002-02-14"));
+        assert!(!BuiltinType::DateTime.is_valid("2002-02-14T25:00:00"));
+    }
+
+    #[test]
+    fn textual_and_numeric_classification() {
+        assert!(BuiltinType::String.is_textual());
+        assert!(!BuiltinType::Integer.is_textual());
+        assert!(BuiltinType::Integer.is_numeric());
+        assert!(!BuiltinType::AnyUri.is_numeric());
+    }
+}

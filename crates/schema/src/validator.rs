@@ -1,0 +1,663 @@
+//! Validation of instance documents against a [`Schema`].
+//!
+//! The matcher is deterministic-greedy, which is sufficient for schemas
+//! obeying XSD's Unique Particle Attribution rule (all U-P2P community
+//! schemas do): at every point the next child element name selects at most
+//! one particle.
+
+use crate::error::{ValidationError, ValidationErrorKind};
+use crate::model::{ComplexType, ElementDecl, Particle, Schema, SimpleTypeDef, TypeRef};
+use crate::types::BuiltinType;
+use up2p_xml::{Document, NodeId};
+
+/// Validates instance documents against one schema.
+///
+/// ```
+/// use up2p_schema::{parse_schema_str, Validator};
+/// use up2p_xml::Document;
+///
+/// let schema = parse_schema_str(r#"
+///   <schema xmlns="http://www.w3.org/2001/XMLSchema">
+///     <element name="note"><complexType><sequence>
+///       <element name="to" type="xsd:string"/>
+///     </sequence></complexType></element>
+///   </schema>"#)?;
+/// let validator = Validator::new(&schema);
+/// let ok = Document::parse("<note><to>peer</to></note>").unwrap();
+/// assert!(validator.validate(&ok).is_ok());
+/// let bad = Document::parse("<note><from>peer</from></note>").unwrap();
+/// assert!(validator.validate(&bad).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Validator<'s> {
+    schema: &'s Schema,
+}
+
+impl<'s> Validator<'s> {
+    /// Creates a validator over `schema`.
+    pub fn new(schema: &'s Schema) -> Self {
+        Validator { schema }
+    }
+
+    /// Validates a whole document; collects *all* problems rather than
+    /// stopping at the first.
+    ///
+    /// # Errors
+    ///
+    /// Returns every [`ValidationError`] found.
+    pub fn validate(&self, doc: &Document) -> Result<(), Vec<ValidationError>> {
+        let mut errors = Vec::new();
+        let Some(root) = doc.document_element() else {
+            errors.push(ValidationError {
+                path: String::new(),
+                kind: ValidationErrorKind::UnknownRootElement("(none)".into()),
+            });
+            return Err(errors);
+        };
+        let root_name = doc.local_name(root).unwrap_or_default();
+        match self.schema.root_element_named(root_name) {
+            Some(decl) => {
+                self.validate_element(doc, root, decl, root_name, &mut errors);
+            }
+            None => errors.push(ValidationError {
+                path: root_name.to_string(),
+                kind: ValidationErrorKind::UnknownRootElement(root_name.to_string()),
+            }),
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Validates a single element against its declaration.
+    fn validate_element(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        decl: &ElementDecl,
+        path: &str,
+        errors: &mut Vec<ValidationError>,
+    ) {
+        match &decl.type_ref {
+            TypeRef::Builtin(b) => {
+                self.validate_simple(doc, node, &SimpleTypeDef::plain(*b), path, errors)
+            }
+            TypeRef::InlineSimple(st) => self.validate_simple(doc, node, st, path, errors),
+            TypeRef::InlineComplex(ct) => self.validate_complex(doc, node, ct, path, errors),
+            TypeRef::Named(name) => {
+                if let Some(st) = self.schema.simple_type(name) {
+                    self.validate_simple(doc, node, st, path, errors);
+                } else if let Some(ct) = self.schema.complex_type(name) {
+                    self.validate_complex(doc, node, ct, path, errors);
+                } else {
+                    errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::UnknownType(name.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    fn validate_simple(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        st: &SimpleTypeDef,
+        path: &str,
+        errors: &mut Vec<ValidationError>,
+    ) {
+        if let Some(child) = doc.child_elements(node).next() {
+            errors.push(ValidationError {
+                path: path.to_string(),
+                kind: ValidationErrorKind::UnexpectedElement(
+                    doc.local_name(child).unwrap_or("?").to_string(),
+                ),
+            });
+            return;
+        }
+        let raw = doc.text_content(node);
+        // non-string types tolerate surrounding whitespace (XSD whiteSpace
+        // collapse); strings are taken verbatim
+        let value: &str =
+            if st.base.is_textual() && st.base != BuiltinType::Token { &raw } else { raw.trim() };
+        if let Err(facet) = st.check(value) {
+            let kind = if facet.starts_with("xsd:") {
+                ValidationErrorKind::InvalidValue { value: value.to_string(), expected: facet }
+            } else {
+                ValidationErrorKind::FacetViolation { value: value.to_string(), facet }
+            };
+            errors.push(ValidationError { path: path.to_string(), kind });
+        }
+    }
+
+    fn validate_complex(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        ct: &ComplexType,
+        path: &str,
+        errors: &mut Vec<ValidationError>,
+    ) {
+        // attributes
+        for ad in &ct.attributes {
+            match doc.attr(node, &ad.name) {
+                Some(v) => {
+                    if let Err(facet) = ad.simple_type.check(v) {
+                        errors.push(ValidationError {
+                            path: format!("{path}/@{}", ad.name),
+                            kind: ValidationErrorKind::FacetViolation {
+                                value: v.to_string(),
+                                facet,
+                            },
+                        });
+                    }
+                }
+                None if ad.required => errors.push(ValidationError {
+                    path: path.to_string(),
+                    kind: ValidationErrorKind::MissingAttribute(ad.name.clone()),
+                }),
+                None => {}
+            }
+        }
+        for attr in doc.attributes(node) {
+            let name = attr.name.local();
+            let declared = ct.attributes.iter().any(|a| a.name == name);
+            let is_ns = attr.name.prefix() == Some("xmlns") || attr.name.is_unprefixed("xmlns");
+            // prefixed attributes (up2p:searchable, xsi:...) are extensions
+            let is_ext = attr.name.prefix().is_some();
+            if !declared && !is_ns && !is_ext {
+                errors.push(ValidationError {
+                    path: path.to_string(),
+                    kind: ValidationErrorKind::UnexpectedAttribute(name.to_string()),
+                });
+            }
+        }
+        // character content
+        if !ct.mixed {
+            let has_nonspace_text = doc
+                .children(node)
+                .iter()
+                .filter_map(|&c| doc.text(c))
+                .any(|t| !t.trim().is_empty());
+            if has_nonspace_text && ct.particle.is_some() {
+                errors.push(ValidationError {
+                    path: path.to_string(),
+                    kind: ValidationErrorKind::ContentModel(
+                        "character data not allowed in element-only content".to_string(),
+                    ),
+                });
+            }
+        }
+        // children vs particle
+        let children: Vec<NodeId> = doc.child_elements(node).collect();
+        match &ct.particle {
+            None => {
+                if let Some(&first) = children.first() {
+                    errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::UnexpectedElement(
+                            doc.local_name(first).unwrap_or("?").to_string(),
+                        ),
+                    });
+                }
+            }
+            Some(p) => {
+                let mut pos = 0usize;
+                if let Err(e) = self.match_particle(doc, &children, &mut pos, p, path, errors) {
+                    errors.push(e);
+                } else if pos < children.len() {
+                    errors.push(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::UnexpectedElement(
+                            doc.local_name(children[pos]).unwrap_or("?").to_string(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Greedy deterministic particle matcher. Consumes children from
+    /// `pos`; descends into matched elements to validate them.
+    fn match_particle(
+        &self,
+        doc: &Document,
+        children: &[NodeId],
+        pos: &mut usize,
+        particle: &Particle,
+        path: &str,
+        errors: &mut Vec<ValidationError>,
+    ) -> Result<(), ValidationError> {
+        match particle {
+            Particle::Element(decl) => {
+                let mut count = 0u32;
+                while *pos < children.len()
+                    && doc.local_name(children[*pos]) == Some(decl.name.as_str())
+                    && decl.max_occurs.allows(count + 1)
+                {
+                    let child_path = format!("{path}/{}", decl.name);
+                    self.validate_element(doc, children[*pos], decl, &child_path, errors);
+                    *pos += 1;
+                    count += 1;
+                }
+                if count < decl.min_occurs {
+                    return Err(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::MissingElement(decl.name.clone()),
+                    });
+                }
+                Ok(())
+            }
+            Particle::Sequence { items, min_occurs, max_occurs } => {
+                let mut reps = 0u32;
+                loop {
+                    if !max_occurs.allows(reps + 1) {
+                        break;
+                    }
+                    let starts_here = *pos < children.len()
+                        && first_set_contains(
+                            particle,
+                            doc.local_name(children[*pos]).unwrap_or(""),
+                        );
+                    if reps >= *min_occurs && !starts_here {
+                        break;
+                    }
+                    let before = *pos;
+                    for item in items {
+                        self.match_particle(doc, children, pos, item, path, errors)?;
+                    }
+                    reps += 1;
+                    if *pos == before {
+                        break; // zero-width iteration; required count met
+                    }
+                }
+                if reps < *min_occurs {
+                    return Err(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::ContentModel(format!(
+                            "sequence group occurs {reps} time(s), needs {min_occurs}"
+                        )),
+                    });
+                }
+                Ok(())
+            }
+            Particle::Choice { items, min_occurs, max_occurs } => {
+                let mut reps = 0u32;
+                loop {
+                    if !max_occurs.allows(reps + 1) {
+                        break;
+                    }
+                    let current = match children.get(*pos) {
+                        Some(&c) => doc.local_name(c).unwrap_or("").to_string(),
+                        None => break,
+                    };
+                    let Some(branch) =
+                        items.iter().find(|it| first_set_contains(it, &current))
+                    else {
+                        break;
+                    };
+                    let before = *pos;
+                    self.match_particle(doc, children, pos, branch, path, errors)?;
+                    reps += 1;
+                    if *pos == before {
+                        break;
+                    }
+                }
+                if reps < *min_occurs {
+                    return Err(ValidationError {
+                        path: path.to_string(),
+                        kind: ValidationErrorKind::ContentModel(format!(
+                            "choice group occurs {reps} time(s), needs {min_occurs}"
+                        )),
+                    });
+                }
+                Ok(())
+            }
+            Particle::All { items } => {
+                let mut used = vec![false; items.len()];
+                while *pos < children.len() {
+                    let name = doc.local_name(children[*pos]).unwrap_or("");
+                    let Some(i) = items
+                        .iter()
+                        .position(|d| d.name == name)
+                        .filter(|&i| !used[i])
+                    else {
+                        break;
+                    };
+                    used[i] = true;
+                    let child_path = format!("{path}/{name}");
+                    self.validate_element(doc, children[*pos], &items[i], &child_path, errors);
+                    *pos += 1;
+                }
+                for (i, d) in items.iter().enumerate() {
+                    if d.min_occurs > 0 && !used[i] {
+                        return Err(ValidationError {
+                            path: path.to_string(),
+                            kind: ValidationErrorKind::MissingElement(d.name.clone()),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Can `name` be the first element matched by `particle`?
+fn first_set_contains(particle: &Particle, name: &str) -> bool {
+    match particle {
+        Particle::Element(d) => d.name == name,
+        Particle::Sequence { items, .. } => {
+            for item in items {
+                if first_set_contains(item, name) {
+                    return true;
+                }
+                if !nullable(item) {
+                    return false;
+                }
+            }
+            false
+        }
+        Particle::Choice { items, .. } => items.iter().any(|i| first_set_contains(i, name)),
+        Particle::All { items } => items.iter().any(|d| d.name == name),
+    }
+}
+
+/// Can `particle` match the empty sequence?
+fn nullable(particle: &Particle) -> bool {
+    match particle {
+        Particle::Element(d) => d.min_occurs == 0,
+        Particle::Sequence { items, min_occurs, .. } => {
+            *min_occurs == 0 || items.iter().all(nullable)
+        }
+        Particle::Choice { items, min_occurs, .. } => {
+            *min_occurs == 0 || items.iter().any(nullable)
+        }
+        Particle::All { items } => items.iter().all(|d| d.min_occurs == 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema_str;
+
+    const FIG3: &str = crate::parser::tests::FIG3;
+
+    fn community_instance(protocol: &str) -> String {
+        format!(
+            "<community><name>mp3</name><description>MP3 trading</description>\
+             <keywords>music audio</keywords><category>music</category>\
+             <security>none</security><protocol>{protocol}</protocol>\
+             <schema>http://x/mp3.xsd</schema><displaystyle>http://x/d.xsl</displaystyle>\
+             <createstyle>http://x/c.xsl</createstyle><searchstyle>http://x/s.xsl</searchstyle>\
+             </community>"
+        )
+    }
+
+    #[test]
+    fn fig3_accepts_valid_community() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        for proto in ["", "Napster", "Gnutella", "FastTrack"] {
+            let doc = Document::parse(&community_instance(proto)).unwrap();
+            assert!(v.validate(&doc).is_ok(), "protocol {proto:?} should validate");
+        }
+    }
+
+    #[test]
+    fn fig3_rejects_unknown_protocol() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        let doc = Document::parse(&community_instance("Kazaa")).unwrap();
+        let errs = v.validate(&doc).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("enumeration"), "{}", errs[0]);
+        assert_eq!(errs[0].path, "community/protocol");
+    }
+
+    #[test]
+    fn fig3_rejects_missing_field() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        let doc = Document::parse(
+            "<community><name>mp3</name><description>d</description></community>",
+        )
+        .unwrap();
+        let errs = v.validate(&doc).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(&e.kind, ValidationErrorKind::MissingElement(n) if n == "keywords")));
+    }
+
+    #[test]
+    fn fig3_rejects_out_of_order_fields() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        // description before name violates the sequence
+        let doc = Document::parse(
+            "<community><description>d</description><name>mp3</name></community>",
+        )
+        .unwrap();
+        assert!(v.validate(&doc).is_err());
+    }
+
+    #[test]
+    fn unknown_root_element() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        let doc = Document::parse("<nonsense/>").unwrap();
+        let errs = v.validate(&doc).unwrap_err();
+        assert!(matches!(errs[0].kind, ValidationErrorKind::UnknownRootElement(_)));
+    }
+
+    #[test]
+    fn repeated_elements_respect_occurs() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="list"><complexType><sequence>
+                <element name="item" type="xsd:string" minOccurs="1" maxOccurs="3"/>
+              </sequence></complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        let ok = Document::parse("<list><item>a</item><item>b</item></list>").unwrap();
+        assert!(v.validate(&ok).is_ok());
+        let too_many =
+            Document::parse("<list><item>a</item><item>b</item><item>c</item><item>d</item></list>")
+                .unwrap();
+        assert!(v.validate(&too_many).is_err());
+        let none = Document::parse("<list/>").unwrap();
+        assert!(v.validate(&none).is_err());
+    }
+
+    #[test]
+    fn choice_accepts_either_branch() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="media"><complexType><sequence>
+                <element name="title" type="xsd:string"/>
+                <choice>
+                  <element name="audio" type="xsd:anyURI"/>
+                  <element name="video" type="xsd:anyURI"/>
+                </choice>
+              </sequence></complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        for kind in ["audio", "video"] {
+            let doc = Document::parse(&format!(
+                "<media><title>t</title><{kind}>u</{kind}></media>"
+            ))
+            .unwrap();
+            assert!(v.validate(&doc).is_ok(), "{kind} branch");
+        }
+        let both =
+            Document::parse("<media><title>t</title><audio>u</audio><video>u</video></media>")
+                .unwrap();
+        assert!(v.validate(&both).is_err(), "choice allows only one branch");
+        let neither = Document::parse("<media><title>t</title></media>").unwrap();
+        assert!(v.validate(&neither).is_err());
+    }
+
+    #[test]
+    fn all_group_accepts_any_order() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="card"><complexType><all>
+                <element name="front" type="xsd:string"/>
+                <element name="back" type="xsd:string"/>
+              </all></complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        for src in [
+            "<card><front>f</front><back>b</back></card>",
+            "<card><back>b</back><front>f</front></card>",
+        ] {
+            let doc = Document::parse(src).unwrap();
+            assert!(v.validate(&doc).is_ok(), "{src}");
+        }
+        let dup = Document::parse("<card><front>f</front><front>g</front></card>").unwrap();
+        assert!(v.validate(&dup).is_err());
+        let missing = Document::parse("<card><front>f</front></card>").unwrap();
+        assert!(v.validate(&missing).is_err());
+    }
+
+    #[test]
+    fn integer_type_checked() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="n" type="xsd:integer"/></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        assert!(v.validate(&Document::parse("<n>42</n>").unwrap()).is_ok());
+        assert!(v.validate(&Document::parse("<n> 42 </n>").unwrap()).is_ok());
+        let errs = v.validate(&Document::parse("<n>forty-two</n>").unwrap()).unwrap_err();
+        assert!(matches!(errs[0].kind, ValidationErrorKind::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn required_attribute_enforced() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="p"><complexType>
+                <sequence><element name="x" type="xsd:string"/></sequence>
+                <attribute name="lang" type="xsd:string" use="required"/>
+              </complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        assert!(v.validate(&Document::parse("<p lang='en'><x>a</x></p>").unwrap()).is_ok());
+        let errs = v.validate(&Document::parse("<p><x>a</x></p>").unwrap()).unwrap_err();
+        assert!(matches!(&errs[0].kind, ValidationErrorKind::MissingAttribute(a) if a == "lang"));
+    }
+
+    #[test]
+    fn undeclared_attribute_reported_but_namespaced_ignored() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="p"><complexType>
+                <sequence><element name="x" type="xsd:string"/></sequence>
+              </complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        let errs =
+            v.validate(&Document::parse("<p bogus='1'><x>a</x></p>").unwrap()).unwrap_err();
+        assert!(matches!(&errs[0].kind, ValidationErrorKind::UnexpectedAttribute(a) if a == "bogus"));
+        assert!(v
+            .validate(
+                &Document::parse(
+                    "<p xmlns:up2p='http://up2p.sce.carleton.ca/ns' up2p:x='1'><x>a</x></p>"
+                )
+                .unwrap()
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn text_in_element_only_content_rejected() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="p"><complexType>
+                <sequence><element name="x" type="xsd:string"/></sequence>
+              </complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        let errs =
+            v.validate(&Document::parse("<p>stray<x>a</x></p>").unwrap()).unwrap_err();
+        assert!(matches!(&errs[0].kind, ValidationErrorKind::ContentModel(_)));
+        // whitespace between elements is fine
+        assert!(v.validate(&Document::parse("<p>\n  <x>a</x>\n</p>").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn mixed_content_allows_text() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="p"><complexType mixed="true">
+                <sequence><element name="b" type="xsd:string" minOccurs="0"/></sequence>
+              </complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        assert!(v.validate(&Document::parse("<p>some <b>bold</b> text</p>").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn all_errors_collected_not_just_first() {
+        let s = parse_schema_str(FIG3).unwrap();
+        let v = Validator::new(&s);
+        // two bad values: protocol not in enum (after all required elements
+        // present) and schema URI with whitespace
+        let mut inst = community_instance("Gnutella");
+        inst = inst.replace("<schema>http://x/mp3.xsd</schema>", "<schema>has space</schema>");
+        inst = inst.replace("<protocol>Gnutella</protocol>", "<protocol>Kazaa</protocol>");
+        let errs = v.validate(&Document::parse(&inst).unwrap()).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn optional_group_skipped() {
+        let s = parse_schema_str(
+            r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+              <element name="doc"><complexType>
+                <sequence>
+                  <element name="head" type="xsd:string"/>
+                  <sequence minOccurs="0">
+                    <element name="opt1" type="xsd:string"/>
+                    <element name="opt2" type="xsd:string"/>
+                  </sequence>
+                  <element name="tail" type="xsd:string"/>
+                </sequence>
+              </complexType></element></schema>"#,
+        )
+        .unwrap();
+        let v = Validator::new(&s);
+        assert!(v
+            .validate(&Document::parse("<doc><head>h</head><tail>t</tail></doc>").unwrap())
+            .is_ok());
+        assert!(v
+            .validate(
+                &Document::parse(
+                    "<doc><head>h</head><opt1>1</opt1><opt2>2</opt2><tail>t</tail></doc>"
+                )
+                .unwrap()
+            )
+            .is_ok());
+        // partial optional group is an error
+        assert!(v
+            .validate(
+                &Document::parse("<doc><head>h</head><opt1>1</opt1><tail>t</tail></doc>")
+                    .unwrap()
+            )
+            .is_err());
+    }
+}

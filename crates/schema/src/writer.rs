@@ -1,0 +1,222 @@
+//! Serialization of a [`Schema`] back to an XSD document.
+//!
+//! U-P2P shares community schemas over the network as XML text (joining a
+//! community means downloading its schema), so the model must round-trip:
+//! `parse_schema(write_schema(s)) == s`.
+
+use crate::model::{
+    AttributeDecl, ComplexType, ElementDecl, Occurs, Particle, Schema, SimpleTypeDef, TypeRef,
+};
+use up2p_xml::{Document, ElementBuilder, UP2P_NS, XSD_NS};
+
+/// Serializes `schema` to an XSD [`Document`].
+pub fn write_schema(schema: &Schema) -> Document {
+    let mut root = ElementBuilder::new("schema")
+        .attr("xmlns", XSD_NS)
+        .attr("xmlns:up2p", UP2P_NS);
+    if let Some(tns) = &schema.target_namespace {
+        root = root.attr("targetNamespace", tns.clone());
+    }
+    for decl in &schema.root_elements {
+        root = root.child(element_decl(decl));
+    }
+    for (name, st) in &schema.simple_types {
+        root = root.child(simple_type_body(st).attr("name", name.clone()));
+    }
+    for (name, ct) in &schema.complex_types {
+        root = root.child(complex_type_body(ct).attr("name", name.clone()));
+    }
+    root.build()
+}
+
+/// Serializes `schema` to pretty-printed XSD text.
+pub fn write_schema_string(schema: &Schema) -> String {
+    write_schema(schema).to_xml_pretty()
+}
+
+fn element_decl(decl: &ElementDecl) -> ElementBuilder {
+    let mut e = ElementBuilder::new("element").attr("name", decl.name.clone());
+    if decl.min_occurs != 1 {
+        e = e.attr("minOccurs", decl.min_occurs.to_string());
+    }
+    match decl.max_occurs {
+        Occurs::Bounded(1) => {}
+        Occurs::Bounded(n) => e = e.attr("maxOccurs", n.to_string()),
+        Occurs::Unbounded => e = e.attr("maxOccurs", "unbounded"),
+    }
+    if decl.searchable {
+        e = e.attr("up2p:searchable", "true");
+    }
+    if decl.attachment {
+        e = e.attr("up2p:attachment", "true");
+    }
+    match &decl.type_ref {
+        TypeRef::Builtin(b) => e.attr("type", format!("xsd:{}", b.name())),
+        TypeRef::Named(n) => e.attr("type", n.clone()),
+        TypeRef::InlineSimple(st) => e.child(simple_type_body(st)),
+        TypeRef::InlineComplex(ct) => e.child(complex_type_body(ct)),
+    }
+}
+
+fn simple_type_body(st: &SimpleTypeDef) -> ElementBuilder {
+    let mut restriction =
+        ElementBuilder::new("restriction").attr("base", format!("xsd:{}", st.base.name()));
+    for v in &st.facets.enumeration {
+        restriction = restriction.child(ElementBuilder::new("enumeration").attr("value", v.clone()));
+    }
+    if let Some(p) = &st.facets.pattern {
+        restriction = restriction.child(ElementBuilder::new("pattern").attr("value", p.source()));
+    }
+    let mut facet = |name: &str, v: Option<String>| {
+        if let Some(v) = v {
+            restriction =
+                restriction.clone().child(ElementBuilder::new(name).attr("value", v));
+        }
+    };
+    facet("length", st.facets.length.map(|v| v.to_string()));
+    facet("minLength", st.facets.min_length.map(|v| v.to_string()));
+    facet("maxLength", st.facets.max_length.map(|v| v.to_string()));
+    facet("minInclusive", st.facets.min_inclusive.map(fmt_f64));
+    facet("maxInclusive", st.facets.max_inclusive.map(fmt_f64));
+    facet("minExclusive", st.facets.min_exclusive.map(fmt_f64));
+    facet("maxExclusive", st.facets.max_exclusive.map(fmt_f64));
+    ElementBuilder::new("simpleType").child(restriction)
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn complex_type_body(ct: &ComplexType) -> ElementBuilder {
+    let mut e = ElementBuilder::new("complexType");
+    if ct.mixed {
+        e = e.attr("mixed", "true");
+    }
+    if let Some(p) = &ct.particle {
+        e = e.child(particle(p));
+    }
+    for a in &ct.attributes {
+        e = e.child(attribute_decl(a));
+    }
+    e
+}
+
+fn particle(p: &Particle) -> ElementBuilder {
+    match p {
+        Particle::Element(d) => element_decl(d),
+        Particle::Sequence { items, min_occurs, max_occurs } => {
+            group("sequence", items, *min_occurs, *max_occurs)
+        }
+        Particle::Choice { items, min_occurs, max_occurs } => {
+            group("choice", items, *min_occurs, *max_occurs)
+        }
+        Particle::All { items } => {
+            let mut e = ElementBuilder::new("all");
+            for d in items {
+                e = e.child(element_decl(d));
+            }
+            e
+        }
+    }
+}
+
+fn group(tag: &str, items: &[Particle], min: u32, max: Occurs) -> ElementBuilder {
+    let mut e = ElementBuilder::new(tag);
+    if min != 1 {
+        e = e.attr("minOccurs", min.to_string());
+    }
+    match max {
+        Occurs::Bounded(1) => {}
+        Occurs::Bounded(n) => e = e.attr("maxOccurs", n.to_string()),
+        Occurs::Unbounded => e = e.attr("maxOccurs", "unbounded"),
+    }
+    for item in items {
+        e = e.child(particle(item));
+    }
+    e
+}
+
+fn attribute_decl(a: &AttributeDecl) -> ElementBuilder {
+    let mut e = ElementBuilder::new("attribute").attr("name", a.name.clone());
+    if a.required {
+        e = e.attr("use", "required");
+    }
+    if a.simple_type.facets.is_empty() {
+        e.attr("type", format!("xsd:{}", a.simple_type.base.name()))
+    } else {
+        e.child(simple_type_body(&a.simple_type))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema_str;
+
+    #[test]
+    fn fig3_round_trips() {
+        let original = parse_schema_str(crate::parser::tests::FIG3).unwrap();
+        let xsd = write_schema_string(&original);
+        let reparsed = parse_schema_str(&xsd).unwrap();
+        assert_eq!(original, reparsed, "round-trip changed the model:\n{xsd}");
+    }
+
+    #[test]
+    fn markers_round_trip() {
+        let src = r#"<schema xmlns="http://www.w3.org/2001/XMLSchema"
+                             xmlns:up2p="http://up2p.sce.carleton.ca/ns">
+          <element name="song"><complexType><sequence>
+            <element name="title" type="xsd:string" up2p:searchable="true"/>
+            <element name="tags" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+            <element name="data" type="xsd:anyURI" up2p:attachment="true"/>
+          </sequence></complexType></element></schema>"#;
+        let original = parse_schema_str(src).unwrap();
+        let reparsed = parse_schema_str(&write_schema_string(&original)).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn facets_round_trip() {
+        let src = r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="x" type="t"/>
+          <simpleType name="t"><restriction base="integer">
+            <minInclusive value="0"/><maxExclusive value="100"/>
+          </restriction></simpleType></schema>"#;
+        let original = parse_schema_str(src).unwrap();
+        let reparsed = parse_schema_str(&write_schema_string(&original)).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn choice_and_all_round_trip() {
+        let src = r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="m"><complexType><sequence>
+            <element name="t" type="xsd:string"/>
+            <choice minOccurs="0"><element name="a" type="xsd:string"/>
+              <element name="b" type="xsd:string"/></choice>
+          </sequence></complexType></element>
+          <element name="c"><complexType><all>
+            <element name="x" type="xsd:string"/>
+          </all></complexType></element>
+        </schema>"#;
+        let original = parse_schema_str(src).unwrap();
+        let reparsed = parse_schema_str(&write_schema_string(&original)).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let src = r#"<schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="p"><complexType>
+            <sequence><element name="x" type="xsd:string"/></sequence>
+            <attribute name="lang" type="xsd:string" use="required"/>
+          </complexType></element></schema>"#;
+        let original = parse_schema_str(src).unwrap();
+        let reparsed = parse_schema_str(&write_schema_string(&original)).unwrap();
+        assert_eq!(original, reparsed);
+    }
+}

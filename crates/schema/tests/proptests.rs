@@ -1,0 +1,161 @@
+//! Property-based tests: schema round-trips, validator accept/reject
+//! invariants, regex engine sanity.
+
+use proptest::prelude::*;
+use up2p_schema::{parse_schema_str, FieldKind, Regex, SchemaBuilder, Validator};
+use up2p_xml::ElementBuilder;
+
+fn field_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Text,
+    Integer,
+    Decimal,
+    Boolean,
+    Uri,
+}
+
+fn kind_strategy() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Text),
+        Just(Kind::Integer),
+        Just(Kind::Decimal),
+        Just(Kind::Boolean),
+        Just(Kind::Uri),
+    ]
+}
+
+/// (schema fields, generator of a valid value per field)
+fn fields_strategy() -> impl Strategy<Value = Vec<(String, Kind, bool)>> {
+    prop::collection::vec((field_name(), kind_strategy(), any::<bool>()), 1..6).prop_map(
+        |mut v| {
+            // unique names required for deterministic content models
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v.dedup_by(|a, b| a.0 == b.0);
+            v
+        },
+    )
+}
+
+fn build_schema(fields: &[(String, Kind, bool)]) -> up2p_schema::Schema {
+    let mut b = SchemaBuilder::new("object");
+    for (name, kind, searchable) in fields {
+        let mut f = match kind {
+            Kind::Text => FieldKind::text(name.clone()),
+            Kind::Integer => FieldKind::integer(name.clone()),
+            Kind::Decimal => FieldKind::decimal(name.clone()),
+            Kind::Boolean => FieldKind::boolean(name.clone()),
+            Kind::Uri => FieldKind::uri(name.clone()),
+        };
+        if *searchable {
+            f = f.searchable();
+        }
+        b.field(f);
+    }
+    b.build()
+}
+
+fn valid_value(kind: &Kind, seed: u64) -> String {
+    match kind {
+        Kind::Text => format!("text value {seed}"),
+        Kind::Integer => format!("{}", seed as i64 - 500),
+        Kind::Decimal => format!("{}.5", seed),
+        Kind::Boolean => if seed.is_multiple_of(2) { "true" } else { "false" }.to_string(),
+        Kind::Uri => format!("http://example.org/{seed}"),
+    }
+}
+
+proptest! {
+    /// Any schema the builder can produce round-trips through XSD text.
+    #[test]
+    fn builder_schema_round_trips(fields in fields_strategy()) {
+        let schema = build_schema(&fields);
+        let xsd = up2p_schema::write_schema_string(&schema);
+        let reparsed = parse_schema_str(&xsd).unwrap();
+        prop_assert_eq!(schema, reparsed);
+    }
+
+    /// Instances built field-by-field with valid values always validate.
+    #[test]
+    fn valid_instances_validate(fields in fields_strategy(), seed in 0u64..10_000) {
+        let schema = build_schema(&fields);
+        let mut e = ElementBuilder::new("object");
+        for (i, (name, kind, _)) in fields.iter().enumerate() {
+            e = e.child_text(name.as_str(), valid_value(kind, seed + i as u64));
+        }
+        let doc = e.build();
+        let v = Validator::new(&schema);
+        prop_assert!(v.validate(&doc).is_ok(), "doc: {}", doc.to_xml_string());
+    }
+
+    /// Dropping a required field always fails validation.
+    #[test]
+    fn missing_field_fails(fields in fields_strategy(), seed in 0u64..10_000) {
+        prop_assume!(fields.len() >= 2);
+        let schema = build_schema(&fields);
+        let skip = seed as usize % fields.len();
+        let mut e = ElementBuilder::new("object");
+        for (i, (name, kind, _)) in fields.iter().enumerate() {
+            if i == skip { continue; }
+            e = e.child_text(name.as_str(), valid_value(kind, seed + i as u64));
+        }
+        let doc = e.build();
+        prop_assert!(Validator::new(&schema).validate(&doc).is_err());
+    }
+
+    /// Corrupting a non-text field's value always fails validation.
+    #[test]
+    fn corrupt_value_fails(fields in fields_strategy(), seed in 0u64..10_000) {
+        let Some(victim) = fields.iter().position(|(_, k, _)| matches!(k, Kind::Integer | Kind::Boolean | Kind::Decimal)) else {
+            return Ok(()); // nothing corruptible
+        };
+        let schema = build_schema(&fields);
+        let mut e = ElementBuilder::new("object");
+        for (i, (name, kind, _)) in fields.iter().enumerate() {
+            let value = if i == victim {
+                "definitely not a number".to_string()
+            } else {
+                valid_value(kind, seed + i as u64)
+            };
+            e = e.child_text(name.as_str(), value);
+        }
+        let doc = e.build();
+        prop_assert!(Validator::new(&schema).validate(&doc).is_err());
+    }
+
+    /// A literal alphanumeric pattern matches exactly itself.
+    #[test]
+    fn regex_literal_self_match(s in "[a-zA-Z0-9]{1,12}") {
+        let re = Regex::parse(&s).unwrap();
+        prop_assert!(re.is_match(&s));
+        let longer = format!("{s}x");
+        prop_assert!(!re.is_match(&longer));
+        prop_assert!(!re.is_match(&s[1..]));
+    }
+
+    /// Repetition counts are honored exactly.
+    #[test]
+    fn regex_counted_repetition(n in 1usize..8) {
+        let re = Regex::parse(&format!("a{{{n}}}")).unwrap();
+        prop_assert!(re.is_match(&"a".repeat(n)));
+        prop_assert!(!re.is_match(&"a".repeat(n + 1)));
+        if n > 1 {
+            prop_assert!(!re.is_match(&"a".repeat(n - 1)));
+        }
+    }
+
+    /// The regex parser never panics on arbitrary input.
+    #[test]
+    fn regex_parser_never_panics(s in "\\PC{0,30}") {
+        let _ = Regex::parse(&s);
+    }
+
+    /// Schema text parsing never panics on arbitrary XML-ish input.
+    #[test]
+    fn schema_parser_never_panics(s in "\\PC{0,120}") {
+        let _ = parse_schema_str(&s);
+    }
+}

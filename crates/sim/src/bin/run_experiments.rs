@@ -1,0 +1,26 @@
+//! Regenerates every experiment table (E1–E7).
+//!
+//! ```text
+//! cargo run -p up2p-sim --release --bin run_experiments            # ASCII to stdout
+//! cargo run -p up2p-sim --release --bin run_experiments -- --md    # markdown (EXPERIMENTS.md body)
+//! cargo run -p up2p-sim --release --bin run_experiments -- --smoke # reduced sizes
+//! ```
+
+use up2p_sim::{run_all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--md");
+    let scale = if args.iter().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
+    let seed = 42;
+
+    eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
+    let tables = run_all(scale, seed);
+    for table in tables {
+        if markdown {
+            println!("{}\n", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment report tables: ASCII rendering for terminals and CSV for
+//! post-processing — the rows each bench/example prints for EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple labelled table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (e.g. `E6: protocol comparison, 256 peers`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each the same length as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {:?}", self.title);
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("**{}**\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Aligned ASCII rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>| {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "| {:width$} ", h, width = widths[i])?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "| {:width$} ", cell, width = widths[i])?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats virtual microseconds as milliseconds.
+pub fn ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", &["protocol", "msgs", "recall"]);
+        t.row(["Napster", "2", "1.00"]);
+        t.row(["Gnutella", "410", "0.93"]);
+        t
+    }
+
+    #[test]
+    fn ascii_alignment() {
+        let s = sample().to_string();
+        assert!(s.contains("| protocol | msgs | recall |"));
+        assert!(s.contains("| Gnutella | 410  | 0.93   |"));
+    }
+
+    #[test]
+    fn csv_with_escaping() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("**T**"));
+        assert!(md.contains("| protocol | msgs | recall |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("T", &["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.1234), "0.123");
+        assert_eq!(fnum(6.54321), "6.54");
+        assert_eq!(fnum(1234.5), "1234"); // {:.0} rounds half to even
+        assert_eq!(ms(20_500), "20.5");
+    }
+}

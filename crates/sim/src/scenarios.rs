@@ -1,0 +1,869 @@
+//! The experiment scenarios E1–E7 (see DESIGN.md §4 for the mapping to
+//! the paper's figures and claims). Each function regenerates the
+//! table(s) recorded in EXPERIMENTS.md; all randomness is seeded, so runs
+//! are exactly reproducible.
+
+use crate::corpus::{
+    self, mp3_community, pattern_community, pattern_filename, song_filename, GOF_PATTERNS,
+};
+use crate::experiment::{pattern_world, World};
+use crate::metrics::{retrieval_quality, Series};
+use crate::report::{fnum, Table};
+use crate::workload::{rng_for, Zipf};
+use rand::Rng;
+use std::time::Instant;
+use up2p_core::{Community, FormKind, FormModel, PayloadPlane, Servent, SharedObject};
+use up2p_net::{churn, PeerId, ProtocolKind};
+use up2p_schema::{FieldKind, SchemaBuilder};
+use up2p_store::{tokenize, Query, Repository};
+
+/// Scale knob: scenario sizes are divided by this for fast test runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full sizes (benches, EXPERIMENTS.md).
+    Full,
+    /// Reduced sizes (unit/integration tests).
+    Smoke,
+}
+
+impl Scale {
+    fn peers(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => (full / 4).max(8),
+        }
+    }
+
+    fn queries(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => (full / 10).max(5),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E1 — Fig. 1: the generative shared-object pipeline
+// ---------------------------------------------------------------------
+
+/// E1: runs the full Fig. 1 pipeline (schema → create form → instance →
+/// validate → index → view) over the GoF corpus and reports per-stage
+/// timing and throughput.
+pub fn e1_pipeline() -> Table {
+    let mut t = Table::new(
+        "E1 (Fig. 1): generative pipeline over the GoF corpus (23 objects)",
+        &["stage", "total ms", "per object us", "output"],
+    );
+    let started = Instant::now();
+    let community = pattern_community();
+    let parse_ms = started.elapsed().as_secs_f64() * 1e3;
+    t.row(["schema parse + community build", &fnum(parse_ms), &fnum(parse_ms * 1e3), "1 community"]);
+
+    let started = Instant::now();
+    let form = FormModel::derive(&community, FormKind::Create);
+    let derive_ms = started.elapsed().as_secs_f64() * 1e3;
+    t.row([
+        "create-form derivation".to_string(),
+        fnum(derive_ms),
+        fnum(derive_ms * 1e3),
+        format!("{} fields", form.fields.len()),
+    ]);
+
+    let started = Instant::now();
+    let mut objects = Vec::new();
+    for p in &GOF_PATTERNS {
+        let doc = form.fill("pattern", &corpus::pattern_values(p)).expect("valid");
+        community.validate(&doc).expect("valid");
+        objects.push(SharedObject::new(&community.id, doc, Vec::new()));
+    }
+    let create_ms = started.elapsed().as_secs_f64() * 1e3;
+    t.row([
+        "fill + validate".to_string(),
+        fnum(create_ms),
+        fnum(create_ms * 1e3 / 23.0),
+        format!("{} objects", objects.len()),
+    ]);
+
+    let started = Instant::now();
+    let mut repo = Repository::new();
+    let paths = community.indexed_paths();
+    for o in &objects {
+        repo.insert_doc(&community.id, o.doc.clone(), &paths);
+    }
+    let index_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = repo.index_stats();
+    t.row([
+        "metadata indexing".to_string(),
+        fnum(index_ms),
+        fnum(index_ms * 1e3 / 23.0),
+        format!("{} token postings", stats.token_postings),
+    ]);
+
+    let started = Instant::now();
+    let mut html_bytes = 0usize;
+    for o in &objects {
+        html_bytes += up2p_core::stylesheets::render_view(&o.doc, None).expect("renders").len();
+    }
+    let view_ms = started.elapsed().as_secs_f64() * 1e3;
+    t.row([
+        "XSLT view rendering".to_string(),
+        fnum(view_ms),
+        fnum(view_ms * 1e3 / 23.0),
+        format!("{html_bytes} HTML bytes"),
+    ]);
+
+    let started = Instant::now();
+    let queries = ["observer", "factory", "interface", "algorithm", "state"];
+    let mut hits = 0;
+    for q in queries {
+        hits += repo.search(None, &Query::any_keyword(q)).len();
+    }
+    let query_ms = started.elapsed().as_secs_f64() * 1e3;
+    t.row([
+        "indexed keyword queries".to_string(),
+        fnum(query_ms),
+        fnum(query_ms * 1e3 / queries.len() as f64),
+        format!("{hits} hits / {} queries", queries.len()),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// E2 — Fig. 2: default stylesheets work on any community schema
+// ---------------------------------------------------------------------
+
+/// E2: generates schemas of increasing width, derives and renders both
+/// forms and a view for each, reporting cost vs schema size. All sizes
+/// must succeed — that is the Fig. 2 "operates on any community schema"
+/// claim.
+pub fn e2_generation(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E2 (Fig. 2): interface generation vs schema size",
+        &["fields", "xsd bytes", "parse us", "form us", "create-form HTML bytes", "render us"],
+    );
+    for &n in sizes {
+        let mut b = SchemaBuilder::new("object");
+        for i in 0..n {
+            let f = match i % 4 {
+                0 => FieldKind::text(format!("text{i}")).searchable(),
+                1 => FieldKind::integer(format!("num{i}")),
+                2 => FieldKind::enumeration(format!("enum{i}"), ["a", "b", "c"]).searchable(),
+                _ => FieldKind::uri(format!("uri{i}")),
+            };
+            b.field(f);
+        }
+        let xsd = b.to_xsd();
+
+        let started = Instant::now();
+        let community = Community::new("gen", "generated", "k", "c", "", &xsd).expect("valid");
+        let parse_us = started.elapsed().as_secs_f64() * 1e6;
+
+        let started = Instant::now();
+        let form = FormModel::derive(&community, FormKind::Create);
+        let form_us = started.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(form.fields.len(), n, "every field surfaces on the form");
+
+        let doc = form.to_document();
+        let started = Instant::now();
+        let html = up2p_core::stylesheets::render_form(&doc, None).expect("default renders");
+        let render_us = started.elapsed().as_secs_f64() * 1e6;
+
+        t.row([
+            n.to_string(),
+            xsd.len().to_string(),
+            fnum(parse_us),
+            fnum(form_us),
+            html.len().to_string(),
+            fnum(render_us),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E3 — Fig. 3: community discovery as object search
+// ---------------------------------------------------------------------
+
+/// E3: publishes `communities` community objects into the root community
+/// of a fabric of `peers`, then issues Zipf-popular discovery queries;
+/// reports success rate, messages and latency per protocol.
+pub fn e3_discovery(scale: Scale, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E3 (Fig. 3): community discovery via the root community",
+        &["protocol", "peers", "communities", "queries", "success", "msgs/query", "mean ms", "p95 ms"],
+    );
+    for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+        for &(peers, n_comms) in &[(64usize, 16usize), (256, 16), (256, 64)] {
+            let peers = scale.peers(peers);
+            let n_comms = n_comms.min(peers);
+            let n_queries = scale.queries(200);
+            let mut world = World::new(kind, peers, seed);
+            let mut rng = rng_for(seed, "e3");
+
+            // each community gets a distinctive keyword and a publisher
+            let mut keywords = Vec::new();
+            for c in 0..n_comms {
+                let keyword = format!("domain{c:03}");
+                let mut b = SchemaBuilder::new("item");
+                b.field(FieldKind::text("name").searchable());
+                let community = Community::from_builder(
+                    &format!("community-{c}"),
+                    &format!("resources about {keyword}"),
+                    &keyword,
+                    "generated",
+                    kind.schema_value(),
+                    &b,
+                )
+                .expect("valid");
+                let publisher = rng.gen_range(0..peers);
+                world.servents[publisher]
+                    .publish_community(&mut *world.net, &mut world.plane, &community)
+                    .expect("publish");
+                keywords.push(keyword);
+            }
+
+            let zipf = Zipf::new(n_comms, 1.0);
+            let mut found = 0usize;
+            let mut msgs = Series::new();
+            let mut lat = Series::new();
+            world.net.reset_stats();
+            for q in 0..n_queries {
+                let target = zipf.sample(&mut rng);
+                let origin = (q * 7 + 3) % peers;
+                let out = world.servents[origin]
+                    .discover_communities(&mut *world.net, &Query::any_keyword(&keywords[target]))
+                    .expect("root member");
+                if !out.hits.is_empty() {
+                    found += 1;
+                }
+                msgs.push(out.messages as f64);
+                lat.push(out.latency as f64 / 1000.0);
+            }
+            t.row([
+                kind.to_string(),
+                peers.to_string(),
+                n_comms.to_string(),
+                n_queries.to_string(),
+                fnum(found as f64 / n_queries as f64),
+                fnum(msgs.mean()),
+                fnum(lat.mean()),
+                fnum(lat.percentile(95.0)),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E4 — §II: metadata search vs filename matching
+// ---------------------------------------------------------------------
+
+/// Derives E4 query terms from a corpus: frequent metadata tokens of at
+/// least five characters (deterministic).
+fn query_terms(fields_per_object: &[Vec<(String, String)>], count: usize) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let mut freq: BTreeMap<String, usize> = BTreeMap::new();
+    for fields in fields_per_object {
+        for (_, value) in fields {
+            for tok in tokenize(value) {
+                if tok.len() >= 5 {
+                    *freq.entry(tok).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut terms: Vec<(String, usize)> = freq.into_iter().collect();
+    terms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    terms.into_iter().take(count).map(|(t, _)| t).collect()
+}
+
+/// E4: precision/recall/F1 of schema-driven metadata search vs the
+/// filename-substring search of Napster-era clients, on both corpora.
+/// Ground truth: an object is relevant to a term when any metadata field
+/// contains it.
+pub fn e4_metadata() -> Table {
+    let mut t = Table::new(
+        "E4 (§II): metadata search vs filename matching",
+        &["corpus", "method", "queries", "precision", "recall", "F1"],
+    );
+
+    // corpus 1: design patterns (filenames carry only the name)
+    {
+        let community = pattern_community();
+        let paths = community.indexed_paths();
+        let mut repo = Repository::new();
+        let mut filenames = Vec::new();
+        let mut all_fields = Vec::new();
+        let mut ids = Vec::new();
+        for p in &GOF_PATTERNS {
+            let form = FormModel::derive(&community, FormKind::Create);
+            let doc = form.fill("pattern", &corpus::pattern_values(p)).expect("valid");
+            let fields = Repository::extract_fields(&doc, &paths);
+            all_fields.push(fields);
+            filenames.push(pattern_filename(p));
+            ids.push(repo.insert_doc(&community.id, doc, &paths));
+        }
+        let terms = query_terms(&all_fields, 20);
+        push_quality_rows(&mut t, "patterns", &repo, &ids, &filenames, &all_fields, &terms);
+    }
+
+    // corpus 2: MP3s (filenames carry artist + title — richer baseline)
+    {
+        let community = mp3_community();
+        let paths = community.indexed_paths();
+        let songs = corpus::songs(100);
+        let mut repo = Repository::new();
+        let mut filenames = Vec::new();
+        let mut all_fields = Vec::new();
+        let mut ids = Vec::new();
+        let form = FormModel::derive(&community, FormKind::Create);
+        for s in &songs {
+            let year = s.year.to_string();
+            let doc = form
+                .fill(
+                    "song",
+                    &[
+                        ("title", s.title.as_str()),
+                        ("artist", s.artist.as_str()),
+                        ("album", s.album.as_str()),
+                        ("genre", s.genre.as_str()),
+                        ("year", year.as_str()),
+                        ("audio", "up2p:attachment:x"),
+                    ],
+                )
+                .expect("valid");
+            let fields = Repository::extract_fields(&doc, &paths);
+            all_fields.push(fields);
+            filenames.push(song_filename(s));
+            ids.push(repo.insert_doc(&community.id, doc, &paths));
+        }
+        let terms = query_terms(&all_fields, 20);
+        push_quality_rows(&mut t, "mp3", &repo, &ids, &filenames, &all_fields, &terms);
+    }
+    t
+}
+
+fn push_quality_rows(
+    t: &mut Table,
+    corpus_name: &str,
+    repo: &Repository,
+    ids: &[up2p_store::ResourceId],
+    filenames: &[String],
+    all_fields: &[Vec<(String, String)>],
+    terms: &[String],
+) {
+    let mut meta = (Series::new(), Series::new(), Series::new());
+    let mut file = (Series::new(), Series::new(), Series::new());
+    for term in terms {
+        // ground truth: metadata contains the term as substring
+        let relevant: Vec<usize> = all_fields
+            .iter()
+            .enumerate()
+            .filter(|(_, fields)| {
+                fields.iter().any(|(_, v)| v.to_lowercase().contains(term.as_str()))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // metadata search: indexed keyword query
+        let hits = repo.search(None, &Query::any_keyword(term));
+        let meta_found: Vec<usize> = hits
+            .iter()
+            .filter_map(|o| ids.iter().position(|id| id == &o.id))
+            .collect();
+        let q = retrieval_quality(&meta_found, &relevant);
+        meta.0.push(q.precision);
+        meta.1.push(q.recall);
+        meta.2.push(q.f1);
+        // filename search: substring over the filename
+        let file_found: Vec<usize> = filenames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.contains(term.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        let q = retrieval_quality(&file_found, &relevant);
+        file.0.push(q.precision);
+        file.1.push(q.recall);
+        file.2.push(q.f1);
+    }
+    t.row([
+        corpus_name.to_string(),
+        "metadata (U-P2P)".to_string(),
+        terms.len().to_string(),
+        fnum(meta.0.mean()),
+        fnum(meta.1.mean()),
+        fnum(meta.2.mean()),
+    ]);
+    t.row([
+        corpus_name.to_string(),
+        "filename (baseline)".to_string(),
+        terms.len().to_string(),
+        fnum(file.0.mean()),
+        fnum(file.1.mean()),
+        fnum(file.2.mean()),
+    ]);
+}
+
+// ---------------------------------------------------------------------
+// E5 — §V: replication vs availability under churn
+// ---------------------------------------------------------------------
+
+/// E5: availability of a pattern object under peer churn, as a function
+/// of its replication factor — simulated on the flooding substrate vs the
+/// analytic `1-(1-a)^r` curve.
+pub fn e5_replication(scale: Scale, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E5 (§V): object availability vs replication under churn (Gnutella substrate)",
+        &["availability", "replicas", "trials", "found rate", "analytic", "retrieve ok"],
+    );
+    let peers = scale.peers(128);
+    let trials = scale.queries(200);
+    for &availability in &[0.9, 0.7, 0.5] {
+        for &replicas in &[1usize, 2, 4, 8] {
+            let mut rng = rng_for(seed, &format!("e5-{availability}-{replicas}"));
+            let (mut world, community) =
+                pattern_world(ProtocolKind::Gnutella, peers, replicas, seed);
+            let mut found = 0usize;
+            let mut fetched = 0usize;
+            for trial in 0..trials {
+                let origin = (trial * 13 + 1) % peers;
+                churn::apply_snapshot(
+                    &mut *world.net,
+                    availability,
+                    &[PeerId(origin as u32)],
+                    &mut rng,
+                );
+                let target = &GOF_PATTERNS[trial % GOF_PATTERNS.len()];
+                let first_token = tokenize(target.name).into_iter().next().expect("name token");
+                let out = world.search_from(origin, &community, &Query::and([
+                    Query::keyword("name", &first_token),
+                    Query::eq("category", target.category),
+                ]));
+                if let Some(hit) = out.hits.first() {
+                    found += 1;
+                    let hit = hit.clone();
+                    let servent = &mut world.servents[origin];
+                    if servent.download(&mut *world.net, &mut world.plane, &hit).is_ok() {
+                        fetched += 1;
+                    }
+                }
+            }
+            churn::revive_all(&mut *world.net);
+            t.row([
+                fnum(availability),
+                replicas.to_string(),
+                trials.to_string(),
+                fnum(found as f64 / trials as f64),
+                fnum(churn::expected_availability(availability, replicas as u32)),
+                fnum(fetched as f64 / trials as f64),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6 — §IV-B / Conclusion: protocol independence
+// ---------------------------------------------------------------------
+
+/// E6a: the same servent workload on all three substrates.
+pub fn e6_protocols(scale: Scale, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E6a (§IV-B): one workload, three substrates",
+        &["protocol", "peers", "recall", "msgs/query", "mean ms", "p95 ms"],
+    );
+    let peers = scale.peers(256);
+    let n_queries = scale.queries(200);
+    for kind in [ProtocolKind::Napster, ProtocolKind::FastTrack, ProtocolKind::Gnutella] {
+        let (mut world, community) = pattern_world(kind, peers, 2, seed);
+        let zipf = Zipf::new(GOF_PATTERNS.len(), 1.0);
+        let mut rng = rng_for(seed, "e6a");
+        let mut recall = Series::new();
+        let mut msgs = Series::new();
+        let mut lat = Series::new();
+        for q in 0..n_queries {
+            let target = &GOF_PATTERNS[zipf.sample(&mut rng)];
+            let origin = (q * 11 + 5) % peers;
+            let first_token = tokenize(target.name).into_iter().next().expect("token");
+            let out = world.search_from(origin, &community, &Query::and([
+                Query::keyword("name", &first_token),
+                Query::eq("category", target.category),
+            ]));
+            recall.push(if out.hits.is_empty() { 0.0 } else { 1.0 });
+            msgs.push(out.messages as f64);
+            lat.push(out.latency as f64 / 1000.0);
+        }
+        t.row([
+            kind.to_string(),
+            peers.to_string(),
+            fnum(recall.mean()),
+            fnum(msgs.mean()),
+            fnum(lat.mean()),
+            fnum(lat.percentile(95.0)),
+        ]);
+    }
+    t
+}
+
+/// E6b: TTL sweep on the flooding substrate — recall vs message cost
+/// (the knee motivates Gnutella's default TTL 7).
+pub fn e6_ttl_sweep(scale: Scale, seed: u64) -> Table {
+    use up2p_net::{ConstantLatency, FloodingConfig, FloodingNetwork, Topology};
+    let mut t = Table::new(
+        "E6b: flooding TTL sweep (small-world overlay)",
+        &["ttl", "recall", "msgs/query", "mean ms"],
+    );
+    let peers = scale.peers(256);
+    let n_queries = scale.queries(100);
+    for ttl in 1..=7u8 {
+        let topo = Topology::small_world(peers, 2, 0.2, seed);
+        let net = FloodingNetwork::new(
+            topo,
+            Box::new(ConstantLatency(20_000)),
+            FloodingConfig { ttl, dedup: true },
+        );
+        let community = pattern_community();
+        let mut world = World {
+            net: Box::new(net),
+            plane: PayloadPlane::new(),
+            servents: (0..peers).map(|i| Servent::new(PeerId(i as u32))).collect(),
+        };
+        world.join_all(&community);
+        let mut rng = rng_for(seed, "e6b");
+        world.populate_patterns(&community, 2, &mut rng);
+        let mut recall = Series::new();
+        let mut msgs = Series::new();
+        let mut lat = Series::new();
+        for q in 0..n_queries {
+            let target = &GOF_PATTERNS[q % GOF_PATTERNS.len()];
+            let origin = (q * 17 + 3) % peers;
+            let first_token = tokenize(target.name).into_iter().next().expect("token");
+            let out =
+                world.search_from(origin, &community, &Query::keyword("name", &first_token));
+            recall.push(if out.hits.is_empty() { 0.0 } else { 1.0 });
+            msgs.push(out.messages as f64);
+            lat.push(out.latency as f64 / 1000.0);
+        }
+        t.row([ttl.to_string(), fnum(recall.mean()), fnum(msgs.mean()), fnum(lat.mean())]);
+    }
+    t
+}
+
+/// E6c: duplicate-suppression ablation on a cyclic overlay.
+pub fn e6_dedup_ablation(scale: Scale, seed: u64) -> Table {
+    use up2p_net::{ConstantLatency, FloodingConfig, FloodingNetwork, Topology};
+    let mut t = Table::new(
+        "E6c: duplicate suppression ablation (flooding)",
+        &["dedup", "ttl", "msgs/query", "recall"],
+    );
+    let peers = scale.peers(64);
+    let n_queries = scale.queries(50);
+    for dedup in [true, false] {
+        let ttl = 5u8;
+        let topo = Topology::small_world(peers, 3, 0.3, seed);
+        let net = FloodingNetwork::new(
+            topo,
+            Box::new(ConstantLatency(20_000)),
+            FloodingConfig { ttl, dedup },
+        );
+        let community = pattern_community();
+        let mut world = World {
+            net: Box::new(net),
+            plane: PayloadPlane::new(),
+            servents: (0..peers).map(|i| Servent::new(PeerId(i as u32))).collect(),
+        };
+        world.join_all(&community);
+        let mut rng = rng_for(seed, "e6c");
+        world.populate_patterns(&community, 1, &mut rng);
+        let mut msgs = Series::new();
+        let mut recall = Series::new();
+        for q in 0..n_queries {
+            let target = &GOF_PATTERNS[q % GOF_PATTERNS.len()];
+            let origin = (q * 17 + 3) % peers;
+            let first_token = tokenize(target.name).into_iter().next().expect("token");
+            let out =
+                world.search_from(origin, &community, &Query::keyword("name", &first_token));
+            msgs.push(out.messages as f64);
+            recall.push(if out.hits.is_empty() { 0.0 } else { 1.0 });
+        }
+        t.row([
+            dedup.to_string(),
+            ttl.to_string(),
+            fnum(msgs.mean()),
+            fnum(recall.mean()),
+        ]);
+    }
+    t
+}
+
+/// E6d: overlay-topology ablation for flooding — ring lattice vs
+/// small world vs scale-free (measured Gnutella overlays were
+/// heavy-tailed; topology changes the cost/recall point at fixed TTL).
+pub fn e6_topologies(scale: Scale, seed: u64) -> Table {
+    use up2p_net::{ConstantLatency, FloodingConfig, FloodingNetwork, Topology};
+    let mut t = Table::new(
+        "E6d: flooding overlay-topology ablation (TTL 5)",
+        &["topology", "edges", "recall", "msgs/query", "mean ms"],
+    );
+    let peers = scale.peers(256);
+    let n_queries = scale.queries(100);
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("ring lattice (k=2)", Topology::ring_lattice(peers, 2)),
+        ("small world (k=2, beta=0.2)", Topology::small_world(peers, 2, 0.2, seed)),
+        ("scale-free (m=2)", Topology::scale_free(peers, 2, seed)),
+    ];
+    for (name, topo) in topologies {
+        let edges = topo.edge_count();
+        let net = FloodingNetwork::new(
+            topo,
+            Box::new(ConstantLatency(20_000)),
+            FloodingConfig { ttl: 5, dedup: true },
+        );
+        let community = pattern_community();
+        let mut world = World {
+            net: Box::new(net),
+            plane: PayloadPlane::new(),
+            servents: (0..peers).map(|i| Servent::new(PeerId(i as u32))).collect(),
+        };
+        world.join_all(&community);
+        let mut rng = rng_for(seed, "e6d");
+        world.populate_patterns(&community, 2, &mut rng);
+        let mut recall = Series::new();
+        let mut msgs = Series::new();
+        let mut lat = Series::new();
+        for q in 0..n_queries {
+            let target = &GOF_PATTERNS[q % GOF_PATTERNS.len()];
+            let origin = (q * 19 + 7) % peers;
+            let first_token = tokenize(target.name).into_iter().next().expect("token");
+            let out =
+                world.search_from(origin, &community, &Query::keyword("name", &first_token));
+            recall.push(if out.hits.is_empty() { 0.0 } else { 1.0 });
+            msgs.push(out.messages as f64);
+            lat.push(out.latency as f64 / 1000.0);
+        }
+        t.row([
+            name.to_string(),
+            edges.to_string(),
+            fnum(recall.mean()),
+            fnum(msgs.mean()),
+            fnum(lat.mean()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E7 — §V: which attributes to index
+// ---------------------------------------------------------------------
+
+/// E7: index-filtering profiles for the design-pattern community — size
+/// vs recall, supporting the paper's community-designer-controlled
+/// Indexed Attribute filter.
+pub fn e7_indexing() -> Table {
+    let mut t = Table::new(
+        "E7 (§V): indexed-attribute filtering on the GoF corpus",
+        &["profile", "fields", "token postings", "approx bytes", "build ms", "recall"],
+    );
+    let community = pattern_community();
+    let all_paths: Vec<String> = up2p_schema::leaf_fields(&community.schema)
+        .into_iter()
+        .filter(|f| f.base.is_textual() || !f.enumeration.is_empty())
+        .map(|f| f.path)
+        .collect();
+    let profiles: Vec<(&str, Vec<String>)> = vec![
+        ("full metadata", all_paths.clone()),
+        ("searchable (default)", community.indexed_paths()),
+        (
+            "name + intent",
+            vec!["pattern/name".to_string(), "pattern/intent".to_string()],
+        ),
+        ("name only (filename-equivalent)", vec!["pattern/name".to_string()]),
+    ];
+
+    // ground truth against the full profile
+    let terms: Vec<String> = {
+        let form = FormModel::derive(&community, FormKind::Create);
+        let fields: Vec<Vec<(String, String)>> = GOF_PATTERNS
+            .iter()
+            .map(|p| {
+                let doc = form.fill("pattern", &corpus::pattern_values(p)).expect("valid");
+                Repository::extract_fields(&doc, &all_paths)
+            })
+            .collect();
+        query_terms(&fields, 20)
+    };
+    let mut full_results: Vec<Vec<String>> = Vec::new();
+
+    for (name, paths) in &profiles {
+        let started = Instant::now();
+        let mut repo = Repository::new();
+        let form = FormModel::derive(&community, FormKind::Create);
+        for p in &GOF_PATTERNS {
+            let doc = form.fill("pattern", &corpus::pattern_values(p)).expect("valid");
+            repo.insert_doc(&community.id, doc, paths);
+        }
+        let build_ms = started.elapsed().as_secs_f64() * 1e3;
+        let stats = repo.index_stats();
+
+        let results: Vec<Vec<String>> = terms
+            .iter()
+            .map(|term| {
+                repo.search(None, &Query::any_keyword(term))
+                    .iter()
+                    .map(|o| o.id.to_string())
+                    .collect()
+            })
+            .collect();
+        if full_results.is_empty() {
+            full_results = results.clone();
+        }
+        let mut recall = Series::new();
+        for (got, want) in results.iter().zip(&full_results) {
+            let q = retrieval_quality(got, want);
+            recall.push(q.recall);
+        }
+        t.row([
+            name.to_string(),
+            paths.len().to_string(),
+            stats.token_postings.to_string(),
+            stats.approx_bytes.to_string(),
+            fnum(build_ms),
+            fnum(recall.mean()),
+        ]);
+    }
+    t
+}
+
+/// Runs every scenario at the given scale, returning all tables in
+/// EXPERIMENTS.md order.
+pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
+    vec![
+        e1_pipeline(),
+        e2_generation(&[4, 8, 16, 32, 64]),
+        e3_discovery(scale, seed),
+        e4_metadata(),
+        e5_replication(scale, seed),
+        e6_protocols(scale, seed),
+        e6_ttl_sweep(scale, seed),
+        e6_dedup_ablation(scale, seed),
+        e6_topologies(scale, seed),
+        e7_indexing(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_has_all_stages() {
+        let t = e1_pipeline();
+        assert_eq!(t.rows.len(), 6);
+    }
+
+    #[test]
+    fn e2_succeeds_for_all_sizes() {
+        let t = e2_generation(&[2, 8, 24]);
+        assert_eq!(t.rows.len(), 3);
+        // HTML grows with field count
+        let b0: usize = t.rows[0][4].parse().unwrap();
+        let b2: usize = t.rows[2][4].parse().unwrap();
+        assert!(b2 > b0);
+    }
+
+    #[test]
+    fn e3_centralized_always_succeeds() {
+        let t = e3_discovery(Scale::Smoke, 7);
+        // Napster rows come first; success column is index 4
+        for row in t.rows.iter().filter(|r| r[0] == "Napster") {
+            assert_eq!(row[4], "1.00", "centralized discovery is exact: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e4_metadata_beats_filenames_on_patterns() {
+        let t = e4_metadata();
+        let f1 = |corpus: &str, method_prefix: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == corpus && r[1].starts_with(method_prefix))
+                .map(|r| r[5].parse().unwrap())
+                .unwrap()
+        };
+        let meta_patterns = f1("patterns", "metadata");
+        let file_patterns = f1("patterns", "filename");
+        assert!(
+            meta_patterns > file_patterns + 0.2,
+            "metadata {meta_patterns} vs filename {file_patterns}"
+        );
+        // the gap shrinks for MP3s (descriptive filenames)
+        let meta_mp3 = f1("mp3", "metadata");
+        let file_mp3 = f1("mp3", "filename");
+        assert!(
+            (meta_patterns - file_patterns) > (meta_mp3 - file_mp3) - 0.05,
+            "pattern gap should exceed mp3 gap"
+        );
+    }
+
+    #[test]
+    fn e5_availability_rises_with_replicas() {
+        let t = e5_replication(Scale::Smoke, 7);
+        // within each availability block, found-rate is non-decreasing
+        for chunk in t.rows.chunks(4) {
+            let rates: Vec<f64> = chunk.iter().map(|r| r[3].parse().unwrap()).collect();
+            assert!(
+                rates.windows(2).all(|w| w[1] >= w[0] - 0.08),
+                "rates should rise with replication: {rates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn e6_message_ordering_holds() {
+        let t = e6_protocols(Scale::Smoke, 7);
+        let msgs: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(msgs[0] <= msgs[1], "Napster <= FastTrack: {msgs:?}");
+        assert!(msgs[1] <= msgs[2], "FastTrack <= Gnutella: {msgs:?}");
+    }
+
+    #[test]
+    fn e6_ttl_recall_monotone() {
+        let t = e6_ttl_sweep(Scale::Smoke, 7);
+        let recalls: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(
+            recalls.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "recall grows with ttl: {recalls:?}"
+        );
+    }
+
+    #[test]
+    fn e6_dedup_saves_messages() {
+        let t = e6_dedup_ablation(Scale::Smoke, 7);
+        let with: f64 = t.rows[0][2].parse().unwrap();
+        let without: f64 = t.rows[1][2].parse().unwrap();
+        assert!(without > with, "no-dedup must cost more: {without} vs {with}");
+    }
+
+    #[test]
+    fn e6_topology_ablation_runs_and_ring_is_slowest() {
+        let t = e6_topologies(Scale::Smoke, 7);
+        assert_eq!(t.rows.len(), 3);
+        // at fixed TTL the ring covers the fewest peers → lowest recall
+        let ring_recall: f64 = t.rows[0][2].parse().unwrap();
+        let sw_recall: f64 = t.rows[1][2].parse().unwrap();
+        assert!(
+            ring_recall <= sw_recall + 1e-9,
+            "ring {ring_recall} should not beat small world {sw_recall}"
+        );
+    }
+
+    #[test]
+    fn e7_smaller_profiles_lose_recall_but_shrink() {
+        let t = e7_indexing();
+        let postings: Vec<usize> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let recalls: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        assert!(postings.windows(2).all(|w| w[1] <= w[0]), "{postings:?}");
+        assert_eq!(recalls[0], 1.0, "full profile is the ground truth");
+        assert!(recalls[3] < recalls[0], "name-only loses recall: {recalls:?}");
+    }
+}

@@ -1,0 +1,277 @@
+//! CMIP/LDAP-style filter text syntax.
+//!
+//! The paper's servent formatted database transactions "as CMIP queries"
+//! (§IV-B). We reproduce the filter surface as the familiar parenthesized
+//! prefix syntax:
+//!
+//! ```text
+//! (name=observer)                 exact (case-insensitive)
+//! (name=observ*)                  prefix; *x, *x* work too; (name=*) presence
+//! (intent~=notify)                keyword (token) match
+//! (~=gof)                         keyword in any field
+//! (&(a=1)(b=2))                   and
+//! (|(a=1)(b=2))                   or
+//! (!(a=1))                        not
+//! ```
+
+use crate::error::StoreError;
+use crate::query::{Query, ValuePattern};
+
+/// Parses a CMIP-style filter into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::InvalidQuery`] describing the first syntax error.
+pub fn parse_cmip(input: &str) -> Result<Query, StoreError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    p.skip_ws();
+    let q = p.parse_filter()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(StoreError::InvalidQuery(format!(
+            "trailing input after filter at offset {}",
+            p.pos
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), StoreError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(StoreError::InvalidQuery(format!("expected {c:?}, got {got:?}"))),
+        }
+    }
+
+    fn parse_filter(&mut self) -> Result<Query, StoreError> {
+        self.expect('(')?;
+        let q = match self.peek() {
+            Some('&') => {
+                self.bump();
+                Query::And(self.parse_filter_list()?)
+            }
+            Some('|') => {
+                self.bump();
+                Query::Or(self.parse_filter_list()?)
+            }
+            Some('!') => {
+                self.bump();
+                self.skip_ws();
+                let inner = self.parse_filter()?;
+                Query::Not(Box::new(inner))
+            }
+            Some('*') => {
+                self.bump();
+                Query::All
+            }
+            Some('~') => {
+                self.bump();
+                self.expect('=')?;
+                let word = self.parse_value()?;
+                Query::Keyword { field: None, word: word.trim().to_lowercase() }
+            }
+            _ => self.parse_comparison()?,
+        };
+        self.skip_ws();
+        self.expect(')')?;
+        Ok(q)
+    }
+
+    fn parse_filter_list(&mut self) -> Result<Vec<Query>, StoreError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('(') {
+                out.push(self.parse_filter()?);
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(StoreError::InvalidQuery("empty filter list".to_string()));
+        }
+        Ok(out)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Query, StoreError> {
+        let mut field = String::new();
+        loop {
+            match self.peek() {
+                Some('=') | Some('~') => break,
+                Some(')') | None => {
+                    return Err(StoreError::InvalidQuery(
+                        "comparison without '='".to_string(),
+                    ))
+                }
+                Some(c) => {
+                    field.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        let field = field.trim().to_string();
+        if field.is_empty() {
+            return Err(StoreError::InvalidQuery("empty field name".to_string()));
+        }
+        let keyword = if self.peek() == Some('~') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect('=')?;
+        let value = self.parse_value()?;
+        if keyword {
+            Ok(Query::Keyword { field: Some(field), word: value.trim().to_lowercase() })
+        } else {
+            Ok(Query::Match {
+                field,
+                pattern: ValuePattern::from_wildcard(value.trim()),
+            })
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<String, StoreError> {
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(')') => break,
+                None => {
+                    return Err(StoreError::InvalidQuery(
+                        "unterminated filter value".to_string(),
+                    ))
+                }
+                Some('\\') => {
+                    // escape for literal parens/backslash in values
+                    self.bump();
+                    match self.bump() {
+                        Some(c) => value.push(c),
+                        None => {
+                            return Err(StoreError::InvalidQuery(
+                                "dangling escape".to_string(),
+                            ))
+                        }
+                    }
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_comparison() {
+        let q = parse_cmip("(name=observer)").unwrap();
+        assert_eq!(q, Query::eq("name", "observer"));
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        assert_eq!(
+            parse_cmip("(name=observ*)").unwrap(),
+            Query::Match { field: "name".into(), pattern: ValuePattern::Prefix("observ".into()) }
+        );
+        assert_eq!(
+            parse_cmip("(keywords=*gof*)").unwrap(),
+            Query::Match {
+                field: "keywords".into(),
+                pattern: ValuePattern::Contains("gof".into())
+            }
+        );
+        assert_eq!(
+            parse_cmip("(schema=*)").unwrap(),
+            Query::Match { field: "schema".into(), pattern: ValuePattern::Present }
+        );
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let q = parse_cmip("(&(category=music)(|(artist=Miles*)(artist=*Davis)))").unwrap();
+        match q {
+            Query::And(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[1], Query::Or(ref o) if o.len() == 2));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_and_keyword() {
+        let q = parse_cmip("(!(category=structural))").unwrap();
+        assert!(matches!(q, Query::Not(_)));
+        let q = parse_cmip("(intent~=Notify)").unwrap();
+        assert_eq!(q, Query::keyword("intent", "notify"));
+        let q = parse_cmip("(~=GoF)").unwrap();
+        assert_eq!(q, Query::any_keyword("gof"));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let q = parse_cmip("  (& (a=1) (b=2) )  ").unwrap();
+        assert!(matches!(q, Query::And(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn escapes_in_values() {
+        let q = parse_cmip(r"(name=a\(b\)c)").unwrap();
+        assert_eq!(q, Query::eq("name", "a(b)c"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_cmip("").is_err());
+        assert!(parse_cmip("(name=)").is_ok(), "empty value means exact-empty");
+        assert!(parse_cmip("(name)").is_err());
+        assert!(parse_cmip("(&)").is_err());
+        assert!(parse_cmip("(a=1))").is_err());
+        assert!(parse_cmip("(a=1").is_err());
+        assert!(parse_cmip("(=x)").is_err());
+    }
+
+    #[test]
+    fn display_and_reparse_agree() {
+        for src in [
+            "(name=observ*)",
+            "(&(a=1)(b=2))",
+            "(|(x=*y*)(!(z=w)))",
+            "(~=gof)",
+            "(intent~=notify)",
+        ] {
+            let q = parse_cmip(src).unwrap();
+            let reparsed = parse_cmip(&q.to_string()).unwrap();
+            assert_eq!(q, reparsed, "{src}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Content addressing: a from-scratch SHA-1 and the [`ResourceId`] newtype.
+//!
+//! U-P2P needs stable, collision-resistant object identifiers so that the
+//! same object published by different peers is recognized as one resource
+//! (the paper's replication story depends on this). SHA-1 matches the era
+//! and is implemented here to keep the dependency budget at zero.
+
+use std::fmt;
+
+/// A 160-bit content hash identifying a stored object, shown as 40 hex
+/// digits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(String);
+
+impl ResourceId {
+    /// Identifier for an object: hash of its community id and its
+    /// canonical XML text.
+    pub fn for_object(community: &str, xml: &str) -> ResourceId {
+        let mut data = Vec::with_capacity(community.len() + xml.len() + 1);
+        data.extend_from_slice(community.as_bytes());
+        data.push(0);
+        data.extend_from_slice(xml.as_bytes());
+        ResourceId(hex(&sha1(&data)))
+    }
+
+    /// Identifier from raw bytes (attachments).
+    pub fn for_bytes(bytes: &[u8]) -> ResourceId {
+        ResourceId(hex(&sha1(bytes)))
+    }
+
+    /// The 40-char hex form.
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses a hex id (for persistence).
+    pub fn from_hex(s: &str) -> Option<ResourceId> {
+        if s.len() == 40 && s.chars().all(|c| c.is_ascii_hexdigit()) {
+            Some(ResourceId(s.to_ascii_lowercase()))
+        } else {
+            None
+        }
+    }
+
+    /// A short prefix for display (first 8 hex digits).
+    pub fn short(&self) -> &str {
+        &self.0[..8]
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// SHA-1 as specified in FIPS 180-1. Used for content addressing only —
+/// this is a reproduction of a 2002 system, not a security boundary.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // message padding: 0x80, zeros, 64-bit big-endian bit length
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha1_known_vectors() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        // > 64 bytes exercises multi-block path
+        let long = vec![b'a'; 1000];
+        assert_eq!(hex(&sha1(&long)), "291e9a6c66994949b57ba5e650361e98fc36b1ba");
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_community_scoped() {
+        let a = ResourceId::for_object("mp3", "<song><title>x</title></song>");
+        let b = ResourceId::for_object("mp3", "<song><title>x</title></song>");
+        let c = ResourceId::for_object("cml", "<song><title>x</title></song>");
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same XML in a different community is a different resource");
+        assert_eq!(a.as_hex().len(), 40);
+    }
+
+    #[test]
+    fn from_hex_round_trip() {
+        let id = ResourceId::for_bytes(b"data");
+        let back = ResourceId::from_hex(id.as_hex()).unwrap();
+        assert_eq!(id, back);
+        assert!(ResourceId::from_hex("xyz").is_none());
+        assert!(ResourceId::from_hex(&"a".repeat(39)).is_none());
+    }
+
+    #[test]
+    fn short_form_is_prefix() {
+        let id = ResourceId::for_bytes(b"data");
+        assert_eq!(id.short().len(), 8);
+        assert!(id.as_hex().starts_with(id.short()));
+    }
+}

@@ -1,0 +1,348 @@
+//! The inverted metadata index.
+//!
+//! Only fields extracted by the community's *Indexed Attribute* filter
+//! (Fig. 1 of the paper) enter the index; experiment E7 measures the
+//! size/recall trade-off this enables. Two structures are maintained per
+//! field: a token index (keyword search) and a normalized-value index
+//! (exact matches, e.g. enumerations).
+
+use crate::digest::ResourceId;
+use crate::query::{field_matches, Query, ValuePattern};
+use crate::tokenizer::{normalize, tokenize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Inverted index over extracted `(field path, value)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataIndex {
+    /// field path → token → posting list
+    tokens: HashMap<String, HashMap<String, BTreeSet<ResourceId>>>,
+    /// field path → normalized value → posting list
+    exact: HashMap<String, HashMap<String, BTreeSet<ResourceId>>>,
+    /// id → extracted fields (scan fallback + result snippets)
+    stored: BTreeMap<ResourceId, Vec<(String, String)>>,
+}
+
+/// Size statistics for experiment E7 (index filtering ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Number of indexed objects.
+    pub objects: usize,
+    /// Distinct field paths.
+    pub fields: usize,
+    /// Total postings across the token index.
+    pub token_postings: usize,
+    /// Total postings across the exact-value index.
+    pub exact_postings: usize,
+    /// Approximate resident bytes of key material.
+    pub approx_bytes: usize,
+}
+
+impl MetadataIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes (or re-indexes) an object's extracted fields.
+    pub fn insert(&mut self, id: ResourceId, fields: Vec<(String, String)>) {
+        self.remove(&id);
+        for (path, value) in &fields {
+            let norm = normalize(value);
+            self.exact
+                .entry(path.clone())
+                .or_default()
+                .entry(norm)
+                .or_default()
+                .insert(id.clone());
+            for token in tokenize(value) {
+                self.tokens
+                    .entry(path.clone())
+                    .or_default()
+                    .entry(token)
+                    .or_default()
+                    .insert(id.clone());
+            }
+        }
+        self.stored.insert(id, fields);
+    }
+
+    /// Removes an object from all postings.
+    pub fn remove(&mut self, id: &ResourceId) {
+        if self.stored.remove(id).is_none() {
+            return;
+        }
+        for per_field in self.tokens.values_mut() {
+            per_field.retain(|_, ids| {
+                ids.remove(id);
+                !ids.is_empty()
+            });
+        }
+        for per_field in self.exact.values_mut() {
+            per_field.retain(|_, ids| {
+                ids.remove(id);
+                !ids.is_empty()
+            });
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// The extracted fields of an indexed object.
+    pub fn fields(&self, id: &ResourceId) -> Option<&[(String, String)]> {
+        self.stored.get(id).map(Vec::as_slice)
+    }
+
+    /// All indexed ids.
+    pub fn ids(&self) -> BTreeSet<ResourceId> {
+        self.stored.keys().cloned().collect()
+    }
+
+    /// Executes a query, returning matching ids.
+    ///
+    /// Keyword and exact-match branches are answered from the inverted
+    /// structures; wildcard patterns fall back to scanning stored fields.
+    /// Results always agree with [`Query::matches_fields`] (property-
+    /// tested).
+    pub fn execute(&self, query: &Query) -> BTreeSet<ResourceId> {
+        match query {
+            Query::All => self.ids(),
+            Query::And(qs) => {
+                let mut iter = qs.iter();
+                let Some(first) = iter.next() else { return self.ids() };
+                let mut acc = self.execute(first);
+                for q in iter {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let next = self.execute(q);
+                    acc = acc.intersection(&next).cloned().collect();
+                }
+                acc
+            }
+            Query::Or(qs) => {
+                let mut acc = BTreeSet::new();
+                for q in qs {
+                    acc.extend(self.execute(q));
+                }
+                acc
+            }
+            Query::Not(q) => {
+                let sub = self.execute(q);
+                self.stored.keys().filter(|id| !sub.contains(*id)).cloned().collect()
+            }
+            Query::Keyword { field, word } => {
+                let mut acc = BTreeSet::new();
+                for (path, per_token) in &self.tokens {
+                    let field_ok = field.as_deref().is_none_or(|f| field_matches(path, f));
+                    if field_ok {
+                        if let Some(ids) = per_token.get(word) {
+                            acc.extend(ids.iter().cloned());
+                        }
+                    }
+                }
+                acc
+            }
+            Query::Match { field, pattern } => match pattern {
+                ValuePattern::Exact(value) => {
+                    let mut acc = BTreeSet::new();
+                    for (path, per_value) in &self.exact {
+                        if field_matches(path, field) {
+                            if let Some(ids) = per_value.get(value) {
+                                acc.extend(ids.iter().cloned());
+                            }
+                        }
+                    }
+                    acc
+                }
+                _ => self
+                    .stored
+                    .iter()
+                    .filter(|(_, fields)| {
+                        fields
+                            .iter()
+                            .filter(|(path, _)| field_matches(path, field))
+                            .any(|(_, value)| pattern.matches(value))
+                    })
+                    .map(|(id, _)| id.clone())
+                    .collect(),
+            },
+        }
+    }
+
+    /// Current size statistics.
+    pub fn stats(&self) -> IndexStats {
+        let token_postings: usize =
+            self.tokens.values().flat_map(|m| m.values()).map(BTreeSet::len).sum();
+        let exact_postings: usize =
+            self.exact.values().flat_map(|m| m.values()).map(BTreeSet::len).sum();
+        let key_bytes: usize = self
+            .tokens
+            .iter()
+            .map(|(f, m)| f.len() + m.keys().map(String::len).sum::<usize>())
+            .sum::<usize>()
+            + self
+                .exact
+                .iter()
+                .map(|(f, m)| f.len() + m.keys().map(String::len).sum::<usize>())
+                .sum::<usize>();
+        let mut fields: BTreeSet<&str> = BTreeSet::new();
+        fields.extend(self.tokens.keys().map(String::as_str));
+        fields.extend(self.exact.keys().map(String::as_str));
+        IndexStats {
+            objects: self.stored.len(),
+            fields: fields.len(),
+            token_postings,
+            exact_postings,
+            // ids are 40 hex chars ≈ 40 bytes of key material per posting
+            approx_bytes: key_bytes + (token_postings + exact_postings) * 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> ResourceId {
+        ResourceId::for_bytes(&[n])
+    }
+
+    fn sample() -> MetadataIndex {
+        let mut ix = MetadataIndex::new();
+        ix.insert(
+            id(1),
+            vec![
+                ("pattern/name".into(), "Observer".into()),
+                ("pattern/category".into(), "behavioral".into()),
+                ("pattern/intent".into(), "notify dependents automatically".into()),
+            ],
+        );
+        ix.insert(
+            id(2),
+            vec![
+                ("pattern/name".into(), "Abstract Factory".into()),
+                ("pattern/category".into(), "creational".into()),
+                ("pattern/intent".into(), "families of related objects".into()),
+            ],
+        );
+        ix.insert(
+            id(3),
+            vec![
+                ("pattern/name".into(), "Factory Method".into()),
+                ("pattern/category".into(), "creational".into()),
+                ("pattern/intent".into(), "defer instantiation to subclasses".into()),
+            ],
+        );
+        ix
+    }
+
+    #[test]
+    fn keyword_search_hits_tokens() {
+        let ix = sample();
+        let hits = ix.execute(&Query::any_keyword("factory"));
+        assert_eq!(hits.len(), 2);
+        let hits = ix.execute(&Query::keyword("name", "observer"));
+        assert_eq!(hits, BTreeSet::from([id(1)]));
+    }
+
+    #[test]
+    fn exact_match_uses_value_index() {
+        let ix = sample();
+        let hits = ix.execute(&Query::eq("category", "CREATIONAL"));
+        assert_eq!(hits.len(), 2);
+        let hits = ix.execute(&Query::eq("name", "abstract factory"));
+        assert_eq!(hits, BTreeSet::from([id(2)]));
+    }
+
+    #[test]
+    fn wildcard_scan() {
+        let ix = sample();
+        let q = Query::Match {
+            field: "name".into(),
+            pattern: ValuePattern::from_wildcard("*factory*"),
+        };
+        assert_eq!(ix.execute(&q).len(), 2);
+        let q = Query::Match {
+            field: "name".into(),
+            pattern: ValuePattern::from_wildcard("observ*"),
+        };
+        assert_eq!(ix.execute(&q), BTreeSet::from([id(1)]));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let ix = sample();
+        let q = Query::and([
+            Query::eq("category", "creational"),
+            Query::any_keyword("families"),
+        ]);
+        assert_eq!(ix.execute(&q), BTreeSet::from([id(2)]));
+        let q = Query::Not(Box::new(Query::eq("category", "creational")));
+        assert_eq!(ix.execute(&q), BTreeSet::from([id(1)]));
+    }
+
+    #[test]
+    fn remove_clears_postings() {
+        let mut ix = sample();
+        ix.remove(&id(2));
+        assert_eq!(ix.len(), 2);
+        assert!(ix.execute(&Query::any_keyword("families")).is_empty());
+        let hits = ix.execute(&Query::any_keyword("factory"));
+        assert_eq!(hits, BTreeSet::from([id(3)]));
+        // removing twice is a no-op
+        ix.remove(&id(2));
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_old_fields() {
+        let mut ix = sample();
+        ix.insert(id(1), vec![("pattern/name".into(), "Mediator".into())]);
+        assert!(ix.execute(&Query::keyword("name", "observer")).is_empty());
+        assert_eq!(ix.execute(&Query::keyword("name", "mediator")), BTreeSet::from([id(1)]));
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn stats_track_sizes() {
+        let ix = sample();
+        let s = ix.stats();
+        assert_eq!(s.objects, 3);
+        assert_eq!(s.fields, 3);
+        assert!(s.token_postings > 0);
+        assert!(s.exact_postings >= 9);
+        assert!(s.approx_bytes > 0);
+        // an empty index reports zeros
+        assert_eq!(MetadataIndex::new().stats(), IndexStats::default());
+    }
+
+    #[test]
+    fn index_agrees_with_reference_semantics() {
+        let ix = sample();
+        let queries = [
+            Query::any_keyword("factory"),
+            Query::eq("category", "creational"),
+            Query::contains("intent", "objects"),
+            Query::and([Query::any_keyword("factory"), Query::any_keyword("method")]),
+            Query::or([Query::eq("name", "observer"), Query::eq("name", "mediator")]),
+            Query::Not(Box::new(Query::any_keyword("notify"))),
+        ];
+        for q in queries {
+            let via_index = ix.execute(&q);
+            let via_scan: BTreeSet<ResourceId> = ix
+                .ids()
+                .into_iter()
+                .filter(|id| q.matches_fields(ix.fields(id).unwrap()))
+                .collect();
+            assert_eq!(via_index, via_scan, "disagreement on {q}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Tokenization of metadata values for the inverted index.
+
+/// Stopwords excluded from keyword indexing. Small and era-appropriate;
+/// disable with [`tokenize_with`]'s `keep_stopwords`.
+pub const STOPWORDS: &[&str] =
+    &["a", "an", "and", "are", "as", "at", "be", "by", "for", "in", "is", "it", "of", "on",
+      "or", "the", "to", "with"];
+
+/// Splits `text` into lowercase alphanumeric tokens, dropping stopwords.
+///
+/// ```
+/// assert_eq!(
+///     up2p_store::tokenize("The Observer pattern, by GoF!"),
+///     vec!["observer", "pattern", "gof"]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_with(text, false)
+}
+
+/// Tokenizes with explicit stopword control.
+pub fn tokenize_with(text: &str, keep_stopwords: bool) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .filter(|t| keep_stopwords || !STOPWORDS.contains(&t.as_str()))
+        .collect()
+}
+
+/// Normalizes a value for exact-match indexing (lowercased, whitespace
+/// collapsed).
+pub fn normalize(value: &str) -> String {
+    value.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(tokenize("Abstract-Factory (GoF)"), vec!["abstract", "factory", "gof"]);
+    }
+
+    #[test]
+    fn drops_stopwords_by_default() {
+        assert_eq!(tokenize("the cat and the hat"), vec!["cat", "hat"]);
+        assert_eq!(
+            tokenize_with("the cat", true),
+            vec!["the", "cat"]
+        );
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(tokenize("track 7 of 12"), vec!["track", "7", "12"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... --- !!!").is_empty());
+    }
+
+    #[test]
+    fn normalize_collapses_space_and_case() {
+        assert_eq!(normalize("  Abstract   Factory "), "abstract factory");
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        assert_eq!(tokenize("Queensrÿche déjà-vu"), vec!["queensrÿche", "déjà", "vu"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the inverted index must agree exactly with the
+//! reference (linear scan) query semantics, and the CMIP filter syntax
+//! must round-trip through `Display`.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use up2p_store::{parse_cmip, MetadataIndex, Query, Repository, ResourceId, ValuePattern};
+
+fn word() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("observer".to_string()),
+        Just("factory".to_string()),
+        Just("jazz".to_string()),
+        Just("modal".to_string()),
+        Just("pattern".to_string()),
+        Just("gof".to_string()),
+        "[a-z]{2,6}",
+    ]
+}
+
+fn field_path() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("obj/name".to_string()),
+        Just("obj/category".to_string()),
+        Just("obj/keywords".to_string()),
+    ]
+}
+
+fn object_fields() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        (field_path(), prop::collection::vec(word(), 1..4).prop_map(|ws| ws.join(" "))),
+        1..5,
+    )
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ValuePattern> {
+    (word(), 0u8..5).prop_map(|(w, kind)| match kind {
+        0 => ValuePattern::Exact(w),
+        1 => ValuePattern::Prefix(w),
+        2 => ValuePattern::Suffix(w),
+        3 => ValuePattern::Contains(w),
+        _ => ValuePattern::Present,
+    })
+}
+
+fn leaf_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        (field_path(), pattern_strategy())
+            .prop_map(|(field, pattern)| Query::Match { field, pattern }),
+        (field_path(), word()).prop_map(|(f, w)| Query::keyword(f, &w)),
+        word().prop_map(|w| Query::any_keyword(&w)),
+        Just(Query::All),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    leaf_query().prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Query::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Query::Or),
+            inner.prop_map(|q| Query::Not(Box::new(q))),
+        ]
+    })
+}
+
+proptest! {
+    /// The inverted index and the reference linear scan agree on every
+    /// query for every corpus.
+    #[test]
+    fn index_equals_reference_scan(
+        objects in prop::collection::vec(object_fields(), 1..12),
+        query in query_strategy(),
+    ) {
+        let mut ix = MetadataIndex::new();
+        let mut reference: Vec<(ResourceId, Vec<(String, String)>)> = Vec::new();
+        for (i, fields) in objects.iter().enumerate() {
+            let id = ResourceId::for_bytes(&[i as u8]);
+            ix.insert(id.clone(), fields.clone());
+            reference.push((id, fields.clone()));
+        }
+        let via_index = ix.execute(&query);
+        let via_scan: BTreeSet<ResourceId> = reference
+            .iter()
+            .filter(|(_, fields)| query.matches_fields(fields))
+            .map(|(id, _)| id.clone())
+            .collect();
+        prop_assert_eq!(via_index, via_scan, "query: {}", query);
+    }
+
+    /// Any query tree prints as a CMIP filter that reparses to the same
+    /// tree (modulo keyword-token normalization, which Display preserves).
+    #[test]
+    fn cmip_display_round_trips(query in query_strategy()) {
+        let text = query.to_string();
+        let reparsed = parse_cmip(&text).unwrap();
+        prop_assert_eq!(query, reparsed, "text: {}", text);
+    }
+
+    /// Repository insert/remove keeps len, membership and search
+    /// consistent.
+    #[test]
+    fn repository_insert_remove_consistent(
+        names in prop::collection::btree_set("[a-z]{3,8}", 1..8),
+    ) {
+        let mut repo = Repository::new();
+        let paths = vec!["o/name".to_string()];
+        let mut ids = Vec::new();
+        for n in &names {
+            let xml = format!("<o><name>{n}</name></o>");
+            ids.push(repo.insert_xml("c", &xml, &paths).unwrap());
+        }
+        prop_assert_eq!(repo.len(), names.len());
+        for (n, id) in names.iter().zip(&ids) {
+            let hits = repo.search(Some("c"), &Query::eq("name", n));
+            prop_assert!(hits.iter().any(|o| &o.id == id));
+        }
+        // remove everything; store must end empty with no stale postings
+        for id in &ids {
+            repo.remove(id);
+        }
+        prop_assert!(repo.is_empty());
+        for n in &names {
+            prop_assert!(repo.search(None, &Query::eq("name", n)).is_empty());
+        }
+    }
+
+    /// The CMIP parser never panics on arbitrary input.
+    #[test]
+    fn cmip_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse_cmip(&s);
+    }
+}

@@ -1,0 +1,161 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use crate::error::{ParseErrorKind, ParseXmlError, TextPos};
+
+/// Escapes text content: `&`, `<`, `>` are replaced by entity references.
+///
+/// ```
+/// assert_eq!(up2p_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for inclusion in double quotes: additionally
+/// escapes `"`, tab, CR and LF so the value round-trips exactly.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expands the five predefined entities and numeric character references in
+/// `s`.
+///
+/// # Errors
+///
+/// Returns an error for unknown entities (`&foo;`), unterminated references
+/// and numeric references that do not denote a valid character.
+pub fn unescape(s: &str) -> Result<String, ParseXmlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let Some(end) = rest.find(';') else {
+            return Err(err_at("unterminated entity reference", s, i));
+        };
+        let name = &rest[..end];
+        out.push(expand_entity(name).map_err(|k| ParseXmlError::new(k, pos_of(s, i)))?);
+        // advance the iterator past the entity
+        for _ in 0..=end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+/// Expands a single entity name (without `&` and `;`) to its character.
+pub(crate) fn expand_entity(name: &str) -> Result<char, ParseErrorKind> {
+    match name {
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "amp" => Ok('&'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            if let Some(num) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(num, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| ParseErrorKind::InvalidCharRef(name.to_string()))
+            } else if let Some(num) = name.strip_prefix('#') {
+                num.parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| ParseErrorKind::InvalidCharRef(name.to_string()))
+            } else {
+                Err(ParseErrorKind::UnknownEntity(name.to_string()))
+            }
+        }
+    }
+}
+
+fn pos_of(s: &str, byte: usize) -> TextPos {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in s.char_indices() {
+        if i >= byte {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    TextPos { line, col }
+}
+
+fn err_at(msg: &str, s: &str, byte: usize) -> ParseXmlError {
+    ParseXmlError::new(ParseErrorKind::Other(msg.to_string()), pos_of(s, byte))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_unescape_text_round_trip() {
+        let original = "design <patterns> & \"gang of four\" 'quotes'";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\nc"), "a&quot;b&#10;c");
+    }
+
+    #[test]
+    fn unescape_numeric_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let e = unescape("&nbsp;").unwrap_err();
+        assert!(e.to_string().contains("unknown entity"));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(unescape("x &amp y").is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_surrogate_char_ref() {
+        assert!(unescape("&#xD800;").is_err());
+    }
+
+    #[test]
+    fn error_position_counts_lines() {
+        let e = unescape("ok\nok &bad; x").unwrap_err();
+        assert_eq!(e.pos().line, 2);
+        assert_eq!(e.pos().col, 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Serialization of [`Document`] trees back to XML text.
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+use std::fmt::Write as _;
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct WriteOptions {
+    /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub declaration: bool,
+    /// Pretty-print with the given indent string, or `None` for compact
+    /// output that preserves text exactly.
+    pub indent: Option<String>,
+}
+
+
+impl WriteOptions {
+    /// Compact output without a declaration (the default).
+    pub fn compact() -> Self {
+        Self::default()
+    }
+
+    /// Two-space pretty-printing with a declaration.
+    pub fn pretty() -> Self {
+        WriteOptions { declaration: true, indent: Some("  ".to_string()) }
+    }
+}
+
+impl Document {
+    /// Serializes the whole document compactly (no declaration).
+    ///
+    /// Compact output round-trips: `Document::parse(doc.to_xml_string())`
+    /// reproduces an equivalent tree.
+    pub fn to_xml_string(&self) -> String {
+        self.to_xml_with(&WriteOptions::compact())
+    }
+
+    /// Serializes the whole document with a declaration and two-space
+    /// indentation. Pretty output inserts whitespace and is intended for
+    /// human consumption, not round-tripping of mixed content.
+    pub fn to_xml_pretty(&self) -> String {
+        self.to_xml_with(&WriteOptions::pretty())
+    }
+
+    /// Serializes the whole document with explicit options.
+    pub fn to_xml_with(&self, options: &WriteOptions) -> String {
+        let mut out = String::new();
+        if options.declaration {
+            out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if options.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        for &child in self.children(self.root()) {
+            self.write_node(child, options, 0, &mut out);
+            if options.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        if options.indent.is_some() && out.ends_with('\n') {
+            out.pop();
+        }
+        out
+    }
+
+    /// Serializes the subtree rooted at `node` compactly.
+    pub fn node_to_xml_string(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(node, &WriteOptions::compact(), 0, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, options: &WriteOptions, depth: usize, out: &mut String) {
+        match self.kind(id) {
+            NodeKind::Document => {
+                for &c in self.children(id) {
+                    self.write_node(c, options, depth, out);
+                }
+            }
+            NodeKind::Element { name, attributes } => {
+                self.write_indent(options, depth, out);
+                let _ = write!(out, "<{name}");
+                for a in attributes {
+                    let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value));
+                }
+                // empty text nodes contribute nothing; skip them so that
+                // `<a></a>` and `<a/>` serialize identically
+                let children: Vec<NodeId> = self
+                    .children(id)
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.text(c).is_none_or(|t| !t.is_empty()))
+                    .collect();
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    let text_only =
+                        children.iter().all(|&c: &NodeId| matches!(self.kind(c), NodeKind::Text(_)));
+                    if options.indent.is_some() && !text_only {
+                        for &c in &children {
+                            out.push('\n');
+                            self.write_node(c, options, depth + 1, out);
+                        }
+                        out.push('\n');
+                        self.write_indent(options, depth, out);
+                    } else {
+                        for &c in &children {
+                            self.write_node(c, &WriteOptions::compact(), 0, out);
+                        }
+                    }
+                    let _ = write!(out, "</{name}>");
+                }
+            }
+            NodeKind::Text(t) => {
+                out.push_str(&escape_text(t));
+            }
+            NodeKind::Comment(c) => {
+                self.write_indent(options, depth, out);
+                let _ = write!(out, "<!--{c}-->");
+            }
+            NodeKind::ProcessingInstruction { target, data } => {
+                self.write_indent(options, depth, out);
+                if data.is_empty() {
+                    let _ = write!(out, "<?{target}?>");
+                } else {
+                    let _ = write!(out, "<?{target} {data}?>");
+                }
+            }
+        }
+    }
+
+    fn write_indent(&self, options: &WriteOptions, depth: usize, out: &mut String) {
+        if let Some(indent) = &options.indent {
+            for _ in 0..depth {
+                out.push_str(indent);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<a x="1&quot;2"><b>t &amp; u</b><c/><!--note--><?pi data?></a>"#;
+        let d = Document::parse(src).unwrap();
+        let out = d.to_xml_string();
+        let d2 = Document::parse(&out).unwrap();
+        assert_eq!(out, d2.to_xml_string());
+        assert_eq!(d.text_content(d.document_element().unwrap()), "t & u");
+    }
+
+    #[test]
+    fn pretty_output_has_declaration_and_indent() {
+        let d = Document::parse("<a><b>x</b></a>").unwrap();
+        let s = d.to_xml_pretty();
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+        assert!(s.contains("\n  <b>x</b>"));
+    }
+
+    #[test]
+    fn text_only_elements_stay_inline_when_pretty() {
+        let d = Document::parse("<a><name>Observer</name></a>").unwrap();
+        let s = d.to_xml_pretty();
+        assert!(s.contains("<name>Observer</name>"), "got: {s}");
+    }
+
+    #[test]
+    fn empty_element_collapses() {
+        let d = Document::parse("<a></a>").unwrap();
+        assert_eq!(d.to_xml_string(), "<a/>");
+    }
+
+    #[test]
+    fn node_to_xml_serializes_subtree() {
+        let d = Document::parse("<a><b i='1'>x</b></a>").unwrap();
+        let a = d.document_element().unwrap();
+        let b = d.child_named(a, "b").unwrap();
+        assert_eq!(d.node_to_xml_string(b), "<b i=\"1\">x</b>");
+    }
+
+    #[test]
+    fn attr_special_chars_escaped() {
+        let mut d = Document::new();
+        let e = d.create_element("a".into());
+        d.append_child(d.root(), e);
+        d.set_attr(e, "v".into(), "a\"b<c>&d\ne");
+        let s = d.to_xml_string();
+        assert_eq!(s, "<a v=\"a&quot;b&lt;c&gt;&amp;d&#10;e\"/>");
+        // and it parses back to the same value
+        let d2 = Document::parse(&s).unwrap();
+        assert_eq!(d2.attr(d2.document_element().unwrap(), "v"), Some("a\"b<c>&d\ne"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the XML substrate: serialization round-trips,
+//! escaping, and XPath consistency against naive reference traversals.
+
+use proptest::prelude::*;
+use up2p_xml::{Document, ElementBuilder, XPath};
+
+/// Strategy for XML-safe text content (excludes control chars the parser
+/// legitimately never sees from our writers).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,40}".prop_map(|s| s)
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+/// A small recursive tree strategy producing element builders.
+fn tree_strategy() -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (name_strategy(), text_strategy())
+        .prop_map(|(n, t)| ElementBuilder::new(n.as_str()).text(t));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..4), text_strategy()).prop_map(
+            |(n, children, t)| {
+                let mut b = ElementBuilder::new(n.as_str());
+                if !t.is_empty() {
+                    b = b.text(t);
+                }
+                for c in children {
+                    b = b.child(c);
+                }
+                b
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_unescape_round_trip(s in "\\PC{0,200}") {
+        let escaped = up2p_xml::escape_text(&s);
+        prop_assert_eq!(up2p_xml::unescape(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn attr_escape_round_trip(s in "\\PC{0,120}") {
+        let escaped = up2p_xml::escape_attr(&s);
+        prop_assert_eq!(up2p_xml::unescape(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn serialize_parse_round_trip(tree in tree_strategy()) {
+        let doc = tree.build();
+        let s1 = doc.to_xml_string();
+        let doc2 = Document::parse(&s1).unwrap();
+        let s2 = doc2.to_xml_string();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn attribute_values_round_trip(v in "\\PC{0,80}") {
+        let doc = ElementBuilder::new("e").attr("v", v.clone()).build();
+        let parsed = Document::parse(&doc.to_xml_string()).unwrap();
+        let el = parsed.document_element().unwrap();
+        prop_assert_eq!(parsed.attr(el, "v"), Some(v.as_str()));
+    }
+
+    #[test]
+    fn xpath_star_count_matches_manual_walk(tree in tree_strategy()) {
+        let doc = tree.build();
+        let all = doc.descendants(doc.root());
+        let elements = all.iter().filter(|&&n| doc.is_element(n)).count();
+        let counted = XPath::parse("count(//*)").unwrap()
+            .eval_root(&doc).unwrap()
+            .into_number(&doc);
+        prop_assert_eq!(counted as usize, elements);
+    }
+
+    #[test]
+    fn text_content_is_concatenated_descendant_text(tree in tree_strategy()) {
+        let doc = tree.build();
+        let root = doc.document_element().unwrap();
+        let mut expected = String::new();
+        for n in doc.descendants(root) {
+            if let Some(t) = doc.text(n) {
+                expected.push_str(t);
+            }
+        }
+        prop_assert_eq!(doc.text_content(root), expected);
+    }
+
+    #[test]
+    fn pretty_and_compact_agree_on_structure(tree in tree_strategy()) {
+        let doc = tree.build();
+        let pretty = Document::parse(&doc.to_xml_pretty()).unwrap();
+        let compact = Document::parse(&doc.to_xml_string()).unwrap();
+        // element structure must be identical (text may gain whitespace
+        // in pretty mode only *between* elements, never inside leaves)
+        let count = |d: &Document| {
+            d.descendants(d.root()).iter().filter(|&&n| d.is_element(n)).count()
+        };
+        prop_assert_eq!(count(&pretty), count(&compact));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
+        let _ = Document::parse(&s); // must not panic
+    }
+
+    #[test]
+    fn xpath_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = XPath::parse(&s); // must not panic
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for stylesheet compilation and transformation.
+
+use std::fmt;
+
+/// Error produced while compiling or applying a stylesheet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XsltError {
+    message: String,
+}
+
+impl XsltError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        XsltError { message: message.into() }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xslt error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XsltError {}
+
+impl From<up2p_xml::XPathError> for XsltError {
+    fn from(e: up2p_xml::XPathError) -> Self {
+        XsltError::new(e.to_string())
+    }
+}
+
+impl From<up2p_xml::ParseXmlError> for XsltError {
+    fn from(e: up2p_xml::ParseXmlError) -> Self {
+        XsltError::new(format!("invalid stylesheet XML: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(XsltError::new("boom").to_string(), "xslt error: boom");
+    }
+
+    #[test]
+    fn converts_from_xpath_error() {
+        let xe = up2p_xml::XPath::parse("|||").unwrap_err();
+        let e: XsltError = xe.into();
+        assert!(e.message().contains("xpath"));
+    }
+}

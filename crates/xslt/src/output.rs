@@ -1,0 +1,110 @@
+//! HTML output method (`xsl:output method="html"`).
+//!
+//! Differences from XML serialization that matter for browser-facing
+//! output: void elements (`<br>`, `<input>`, ...) are written without a
+//! closing tag, non-void empty elements keep an explicit closing tag
+//! (`<div></div>`, never `<div/>`), and the contents of `<script>` and
+//! `<style>` are not entity-escaped.
+
+use up2p_xml::{escape_attr, escape_text, Document, NodeId, NodeKind};
+
+/// HTML void elements per the HTML 4.01 / XHTML-era list the paper's
+/// browser targets understood.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "hr", "img", "input", "link", "meta", "param",
+];
+
+/// Serializes a result tree using the HTML output method.
+pub fn to_html(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in doc.children(doc.root()) {
+        write_html(doc, child, &mut out, false);
+    }
+    out
+}
+
+fn write_html(doc: &Document, id: NodeId, out: &mut String, raw_text: bool) {
+    match doc.kind(id) {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                write_html(doc, c, out, raw_text);
+            }
+        }
+        NodeKind::Element { name, attributes } => {
+            let lname = name.local().to_ascii_lowercase();
+            out.push('<');
+            out.push_str(&name.to_string());
+            for a in attributes {
+                out.push(' ');
+                out.push_str(&a.name.to_string());
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&a.value));
+                out.push('"');
+            }
+            out.push('>');
+            if VOID_ELEMENTS.contains(&lname.as_str()) {
+                return; // no closing tag, children ignored
+            }
+            let raw = matches!(lname.as_str(), "script" | "style");
+            for &c in doc.children(id) {
+                write_html(doc, c, out, raw);
+            }
+            out.push_str("</");
+            out.push_str(&name.to_string());
+            out.push('>');
+        }
+        NodeKind::Text(t) => {
+            if raw_text {
+                out.push_str(t);
+            } else {
+                out.push_str(&escape_text(t));
+            }
+        }
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up2p_xml::ElementBuilder;
+
+    #[test]
+    fn void_elements_have_no_close_tag() {
+        let doc = ElementBuilder::new("p")
+            .text("a")
+            .child(ElementBuilder::new("br"))
+            .text("b")
+            .build();
+        assert_eq!(to_html(&doc), "<p>a<br>b</p>");
+    }
+
+    #[test]
+    fn empty_non_void_elements_keep_close_tag() {
+        let doc = ElementBuilder::new("div").build();
+        assert_eq!(to_html(&doc), "<div></div>");
+    }
+
+    #[test]
+    fn script_content_not_escaped() {
+        let doc = ElementBuilder::new("script").text("if (a < b && c > d) {}").build();
+        assert_eq!(to_html(&doc), "<script>if (a < b && c > d) {}</script>");
+    }
+
+    #[test]
+    fn regular_text_is_escaped() {
+        let doc = ElementBuilder::new("p").text("a < b").build();
+        assert_eq!(to_html(&doc), "<p>a &lt; b</p>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let doc = ElementBuilder::new("input").attr("value", "say \"hi\"").build();
+        assert_eq!(to_html(&doc), r#"<input value="say &quot;hi&quot;">"#);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the XSLT engine: the identity transform must
+//! reproduce any tree, and sorting must agree with a reference sort.
+
+use proptest::prelude::*;
+use up2p_xml::{Document, ElementBuilder};
+use up2p_xslt::Stylesheet;
+
+const IDENTITY: &str = r#"<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="@*|node()">
+    <xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // printable, non-empty to avoid <a></a> vs <a/> ambiguity
+    "[ -~&&[^<>&]]{1,20}"
+}
+
+fn tree_strategy() -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (name_strategy(), text_strategy())
+        .prop_map(|(n, t)| ElementBuilder::new(n.as_str()).text(t));
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec(("[a-z]{1,5}", "[a-z0-9 ]{0,10}"), 0..3),
+            prop::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(n, attrs, children)| {
+                let mut b = ElementBuilder::new(n.as_str());
+                let mut seen = std::collections::BTreeSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        b = b.attr(k.as_str(), v);
+                    }
+                }
+                for c in children {
+                    b = b.child(c);
+                }
+                b
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The classic identity stylesheet reproduces any element tree
+    /// exactly (modulo canonical serialization).
+    #[test]
+    fn identity_transform_reproduces_tree(tree in tree_strategy()) {
+        let doc = tree.build();
+        let sheet = Stylesheet::parse(IDENTITY).unwrap();
+        let out = sheet.apply(&doc).unwrap();
+        prop_assert_eq!(doc.to_xml_string(), out.to_xml_string());
+    }
+
+    /// `xsl:for-each` with `xsl:sort` agrees with a reference sort of the
+    /// item string values.
+    #[test]
+    fn sort_agrees_with_reference(values in prop::collection::vec("[a-z]{1,8}", 1..12)) {
+        let mut b = ElementBuilder::new("list");
+        for v in &values {
+            b = b.child_text("item", v.clone());
+        }
+        let doc = b.build();
+        let sheet = Stylesheet::parse(r#"<xsl:stylesheet version="1.0"
+            xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+          <xsl:output method="text"/>
+          <xsl:template match="/">
+            <xsl:for-each select="//item">
+              <xsl:sort select="."/>
+              <xsl:value-of select="."/><xsl:text>,</xsl:text>
+            </xsl:for-each>
+          </xsl:template>
+        </xsl:stylesheet>"#).unwrap();
+        let out = sheet.apply_to_string(&doc).unwrap();
+        let mut expected = values.clone();
+        expected.sort();
+        let expected: String = expected.iter().map(|v| format!("{v},")).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// `value-of select="//x"` equals the first matching node's text
+    /// content, for arbitrary trees that contain a known marker.
+    #[test]
+    fn value_of_matches_text_content(tree in tree_strategy(), marker in "[a-z0-9 ]{1,12}") {
+        let doc = ElementBuilder::new("root")
+            .child(ElementBuilder::new("marker").text(marker.clone()))
+            .child(tree)
+            .build();
+        let sheet = Stylesheet::parse(r#"<xsl:stylesheet version="1.0"
+            xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+          <xsl:output method="text"/>
+          <xsl:template match="/"><xsl:value-of select="//marker"/></xsl:template>
+        </xsl:stylesheet>"#).unwrap();
+        prop_assert_eq!(sheet.apply_to_string(&doc).unwrap(), marker);
+    }
+
+    /// The engine never panics on arbitrary stylesheet-shaped input.
+    #[test]
+    fn compiler_never_panics(s in "\\PC{0,200}") {
+        let _ = Stylesheet::parse(&s);
+    }
+}

@@ -1,0 +1,79 @@
+//! Community discovery at scale: many communities published into the
+//! root community, discovered by keyword on three different substrates —
+//! the paper's headline claim that community discovery reduces to
+//! resource discovery, with the substrate swapped freely underneath.
+//!
+//! ```text
+//! cargo run --example community_discovery
+//! ```
+
+use up2p::sim::corpus::{molecule_community, mp3_community, pattern_community};
+use up2p::{build_network, Community, PayloadPlane, PeerId, ProtocolKind, Query, Servent};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let communities: Vec<Community> =
+        vec![pattern_community(), mp3_community(), molecule_community()];
+
+    for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+        println!("=== substrate: {kind} ===");
+        let mut net = build_network(kind, 96, 11);
+        let mut plane = PayloadPlane::new();
+
+        // three founders publish their communities
+        for (i, c) in communities.iter().enumerate() {
+            let mut founder = Servent::new(PeerId((i * 17 + 2) as u32));
+            founder.publish_community(&mut *net, &mut plane, c)?;
+        }
+
+        // a newcomer looks for each domain by keyword
+        let mut newcomer = Servent::new(PeerId(80));
+        for (keyword, expected) in
+            [("patterns", "design-patterns"), ("music", "mp3"), ("chemistry", "molecules")]
+        {
+            let out = newcomer.discover_communities(&mut *net, &Query::any_keyword(keyword))?;
+            let names: Vec<String> = out
+                .hits
+                .iter()
+                .filter_map(|h| {
+                    h.fields
+                        .iter()
+                        .find(|(p, _)| p.ends_with("/name"))
+                        .map(|(_, v)| v.clone())
+                })
+                .collect();
+            println!(
+                "  '{keyword}': {:?} ({} msgs, {:.1} ms)",
+                names,
+                out.messages,
+                out.latency as f64 / 1000.0
+            );
+            assert!(names.iter().any(|n| n == expected), "{expected} must be discoverable");
+
+            // join the first one and confirm the schema arrived intact
+            let id = newcomer.join_from_hit(&mut *net, &mut plane, &out.hits[0])?;
+            let joined = newcomer.community(&id).expect("joined");
+            println!(
+                "    joined '{}' — object root <{}>, {} searchable field(s)",
+                joined.name,
+                joined.object_root_name(),
+                joined.indexed_paths().len()
+            );
+        }
+
+        // narrowing by category — Fig. 3's filterable attributes
+        let narrowed = newcomer.discover_communities(
+            &mut *net,
+            &Query::and([Query::eq("category", "science"), Query::any_keyword("cml")]),
+        )?;
+        // the newcomer re-shares joined community objects, so one
+        // community may have several providers — count distinct objects
+        println!(
+            "  category=science AND cml: {} distinct community(ies), {} provider(s)",
+            narrowed.distinct_keys(),
+            narrowed.hits.len()
+        );
+        assert_eq!(narrowed.distinct_keys(), 1);
+    }
+    println!("\ncommunity discovery works identically on all three substrates.");
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! The paper's §V case study: a design-pattern-sharing community built
+//! from the GoF catalogue, with a custom view stylesheet and an
+//! indexed-attribute filter, plus the replication effect the paper
+//! anticipates ("replicate popular patterns to increase accessibility").
+//!
+//! ```text
+//! cargo run --example design_patterns
+//! ```
+
+use up2p::sim::corpus::{pattern_community, pattern_values, GOF_PATTERNS};
+use up2p::{build_network, PayloadPlane, PeerId, ProtocolKind, Query, Servent};
+
+/// A custom display stylesheet for the complex pattern objects — the
+/// default is "tailored to more simple formats" (§V).
+const PATTERN_VIEW_XSL: &str = r#"<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="html"/>
+  <xsl:template match="/pattern">
+    <div class="pattern">
+      <h1><xsl:value-of select="name"/>
+        <xsl:if test="aka != ''">
+          <small> (<xsl:value-of select="aka"/>)</small>
+        </xsl:if>
+      </h1>
+      <p class="category"><xsl:value-of select="category"/></p>
+      <h2>Intent</h2><p><xsl:value-of select="intent"/></p>
+      <h2>Applicability</h2><p><xsl:value-of select="applicability"/></p>
+      <h2>Participants</h2>
+      <ul><xsl:for-each select="participants">
+        <li><xsl:value-of select="."/></li>
+      </xsl:for-each></ul>
+    </div>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let community = pattern_community().with_display_style(PATTERN_VIEW_XSL);
+    println!("design-pattern community: {} (id {})", community.name, &community.id[..12]);
+
+    let mut net = build_network(ProtocolKind::Gnutella, 128, 7);
+    let mut plane = PayloadPlane::new();
+
+    // librarian peers seed the catalogue
+    let mut librarians: Vec<Servent> = (0..4)
+        .map(|i| {
+            let mut s = Servent::new(PeerId(i * 31));
+            s.join(community.clone());
+            s
+        })
+        .collect();
+    let n_librarians = librarians.len();
+    for (i, p) in GOF_PATTERNS.iter().enumerate() {
+        let lib = &mut librarians[i % n_librarians];
+        let obj = lib.create_object(&community.id, &pattern_values(p))?;
+        lib.publish(&mut *net, &mut plane, &obj)?;
+    }
+    println!("seeded {} patterns from {} librarians", GOF_PATTERNS.len(), librarians.len());
+
+    // a student searches by *purpose*, not by name — the metadata-search
+    // capability filename-based systems lack (§II)
+    let mut student = Servent::new(PeerId(99));
+    student.join(community.clone());
+    let out = student.search_cmip(
+        &mut *net,
+        &community.id,
+        "(&(category=behavioral)(intent~=algorithm))",
+    )?;
+    println!(
+        "CMIP query '(&(category=behavioral)(intent~=algorithm))': {} hit(s)",
+        out.hits.len()
+    );
+    for h in &out.hits {
+        let name = h
+            .fields
+            .iter()
+            .find(|(p, _)| p.ends_with("/name"))
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        println!("  - {name} (provider {}, {} hops)", h.provider, h.hops);
+    }
+
+    // download one and render it with the custom stylesheet
+    let hit = out.hits.first().expect("behavioral patterns about algorithms exist");
+    let obj = student.download(&mut *net, &mut plane, hit)?;
+    println!("\n--- custom-stylesheet view of {} ---", obj.field("name").unwrap());
+    println!("{}", student.view_html(&obj)?);
+
+    // replication: popular patterns spread as students download them
+    let observer_query = Query::and([
+        Query::keyword("name", "observer"),
+        Query::eq("category", "behavioral"),
+    ]);
+    let before = student.search(&mut *net, &community.id, &observer_query)?;
+    let mut downloaders: Vec<Servent> = (0..8)
+        .map(|i| {
+            let mut s = Servent::new(PeerId(10 + i));
+            s.join(community.clone());
+            s
+        })
+        .collect();
+    for d in &mut downloaders {
+        let out = d.search(&mut *net, &community.id, &observer_query)?;
+        if let Some(hit) = out.hits.first() {
+            let hit = hit.clone();
+            let _ = d.download(&mut *net, &mut plane, &hit);
+        }
+    }
+    let after = student.search(&mut *net, &community.id, &observer_query)?;
+    println!(
+        "\nObserver providers before: {}, after 8 downloads: {} (replication at work)",
+        before.hits.len(),
+        after.hits.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The schema-generator tool (paper's conclusion: "a web-based tool for
+//! generating XML Schema … to hide the underlying XML completely from the
+//! user"), as a small interactive-free CLI: describe fields in a plain
+//! line format, get the community XSD plus all four generated interfaces.
+//!
+//! ```text
+//! cargo run --example schema_generator
+//! ```
+
+use up2p::core::stylesheets;
+use up2p::{Community, FieldKind, FormKind, FormModel, SchemaBuilder};
+
+/// Line format: `name:type[:flags]` with type ∈ text|int|decimal|bool|
+/// uri|date|enum(a,b,c) and flags from {searchable, optional, repeated,
+/// attachment}.
+fn parse_field(line: &str) -> Option<FieldKind> {
+    let mut parts = line.splitn(3, ':');
+    let name = parts.next()?.trim().to_string();
+    let ty = parts.next().unwrap_or("text").trim();
+    let flags = parts.next().unwrap_or("");
+    let mut f = if let Some(rest) = ty.strip_prefix("enum(") {
+        let values: Vec<&str> =
+            rest.trim_end_matches(')').split(',').map(str::trim).collect();
+        FieldKind::enumeration(name, values)
+    } else {
+        match ty {
+            "int" => FieldKind::integer(name),
+            "decimal" => FieldKind::decimal(name),
+            "bool" => FieldKind::boolean(name),
+            "uri" => FieldKind::uri(name),
+            "date" => FieldKind::date(name),
+            _ => FieldKind::text(name),
+        }
+    };
+    for flag in flags.split(',').map(str::trim) {
+        f = match flag {
+            "searchable" => f.searchable(),
+            "optional" => f.optional(),
+            "repeated" => f.repeated(),
+            "attachment" => f.attachment(),
+            _ => f,
+        };
+    }
+    Some(f)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // What a biodiversity researcher might type into the paper's web tool
+    // (§I: "descriptions of species for scientists studying biodiversity"):
+    let spec = [
+        "species:text:searchable",
+        "genus:text:searchable",
+        "family:text:searchable",
+        "habitat:text:searchable,optional",
+        "conservation:enum(least-concern,vulnerable,endangered,extinct):searchable",
+        "observed:date:optional",
+        "sightings:int:optional",
+        "photo:uri:attachment,optional",
+    ];
+
+    let mut builder = SchemaBuilder::new("species");
+    for line in spec {
+        let field = parse_field(line).expect("well-formed spec line");
+        builder.field(field);
+    }
+
+    println!("=== generated XSD ===");
+    let xsd = builder.to_xsd();
+    println!("{xsd}\n");
+
+    let community = Community::from_builder(
+        "biodiversity",
+        "Electronic field guide species descriptions",
+        "species biology biodiversity field-guide",
+        "science",
+        "Gnutella",
+        &builder,
+    )?;
+    println!("community id: {}\n", community.id);
+
+    println!("=== generated create form (HTML) ===");
+    let create = FormModel::derive(&community, FormKind::Create).to_document();
+    println!("{}\n", stylesheets::render_form(&create, None)?);
+
+    println!("=== generated search form (HTML) ===");
+    let search = FormModel::derive(&community, FormKind::Search).to_document();
+    println!("{}\n", stylesheets::render_form(&search, None)?);
+
+    println!("=== generated indexed-attribute filter (XSLT) ===");
+    println!("{}\n", stylesheets::default_index_xsl(&community));
+
+    // round-trip sanity: the XSD reparses to the identical community
+    let reparsed = Community::new(
+        "biodiversity",
+        "Electronic field guide species descriptions",
+        "species biology biodiversity field-guide",
+        "science",
+        "Gnutella",
+        &xsd,
+    )?;
+    assert_eq!(reparsed.id, community.id, "generated XSD is faithful");
+    println!("round-trip check passed: XSD ↔ community identity is stable");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # up2p — facade crate
+//!
+//! Re-exports the whole U-P2P reproduction behind one dependency:
+//!
+//! * [`core`] — the framework (servent, communities, forms, stylesheets)
+//! * [`xml`] — XML parser / DOM / XPath substrate
+//! * [`schema`] — XML Schema subset
+//! * [`xslt`] — XSLT engine
+//! * [`store`] — repository, metadata index, query languages
+//! * [`net`] — simulated P2P substrates (Napster / Gnutella / FastTrack)
+//! * [`sim`] — corpora, workloads and the E1–E7 experiment scenarios
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
+//! for the paper-to-module map.
+
+pub use up2p_core as core;
+pub use up2p_net as net;
+pub use up2p_schema as schema;
+pub use up2p_sim as sim;
+pub use up2p_store as store;
+pub use up2p_xml as xml;
+pub use up2p_xslt as xslt;
+
+// The most-used types, flattened for convenience.
+pub use up2p_core::{
+    extract_metadata, Attachment, Community, CoreError, FormKind, FormModel, PayloadPlane,
+    Servent, SharedObject, ROOT_COMMUNITY_ID, ROOT_SCHEMA_XSD,
+};
+pub use up2p_net::{build_network, PeerId, PeerNetwork, ProtocolKind};
+pub use up2p_schema::{FieldKind, SchemaBuilder};
+pub use up2p_store::Query;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        let mut b = crate::SchemaBuilder::new("x");
+        b.field(crate::FieldKind::text("name").searchable());
+        let c = crate::Community::from_builder("x", "d", "k", "c", "", &b).unwrap();
+        assert!(!c.id.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Protocol independence, live: the identical `Servent` code that drives
+//! the discrete-event substrates drives a *threaded* network of
+//! channel-connected peers — create, discover, join, search, download.
+
+use up2p::net::{LiveNetwork, Topology};
+use up2p::sim::corpus::{pattern_community, pattern_values, GOF_PATTERNS};
+use up2p::{PayloadPlane, PeerId, Query, Servent};
+
+#[test]
+fn full_lifecycle_over_threads() {
+    let mut net = LiveNetwork::new(Topology::small_world(24, 2, 0.2, 3));
+    let mut plane = PayloadPlane::new();
+    let community = pattern_community();
+
+    // publisher thread-peer 2 announces the community + one pattern
+    let mut publisher = Servent::new(PeerId(2));
+    publisher.publish_community(&mut net, &mut plane, &community).unwrap();
+    let obj = publisher
+        .create_object(&community.id, &pattern_values(&GOF_PATTERNS[18]))
+        .unwrap();
+    publisher.publish(&mut net, &mut plane, &obj).unwrap();
+
+    // seeker: discovery → join → search → download, all over real threads
+    let mut seeker = Servent::new(PeerId(19));
+    let found = seeker
+        .discover_communities(&mut net, &Query::any_keyword("patterns"))
+        .unwrap();
+    assert!(!found.hits.is_empty(), "community discovered over live transport");
+    let id = seeker.join_from_hit(&mut net, &mut plane, &found.hits[0]).unwrap();
+    assert_eq!(id, community.id);
+
+    let hits = seeker.search(&mut net, &id, &Query::keyword("name", "observer")).unwrap();
+    assert!(!hits.hits.is_empty());
+    let downloaded = seeker.download(&mut net, &mut plane, &hits.hits[0]).unwrap();
+    assert_eq!(downloaded.key, obj.key);
+    assert!(seeker.view_html(&downloaded).unwrap().contains("Observer"));
+}
+
+#[test]
+fn replication_works_over_threads_too() {
+    let mut net = LiveNetwork::new(Topology::small_world(16, 2, 0.2, 5));
+    let mut plane = PayloadPlane::new();
+    let community = pattern_community();
+
+    let mut a = Servent::new(PeerId(1));
+    a.join(community.clone());
+    let obj = a.create_object(&community.id, &pattern_values(&GOF_PATTERNS[4])).unwrap();
+    a.publish(&mut net, &mut plane, &obj).unwrap();
+
+    let mut b = Servent::new(PeerId(9));
+    b.join(community.clone());
+    let out = b.search(&mut net, &community.id, &Query::keyword("name", "singleton")).unwrap();
+    assert_eq!(out.hits.len(), 1);
+    b.download(&mut net, &mut plane, &out.hits[0]).unwrap();
+
+    let mut c = Servent::new(PeerId(14));
+    c.join(community.clone());
+    let out = c.search(&mut net, &community.id, &Query::keyword("name", "singleton")).unwrap();
+    assert_eq!(out.distinct_keys(), 1);
+    assert!(out.hits.len() >= 2, "replicated copy is also discoverable: {:?}", out.hits.len());
+}

@@ -10,6 +10,22 @@ use up2p_sim::{run_all, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("run_experiments — regenerate the U-P2P experiment tables (E1-E7)");
+        println!();
+        println!("USAGE:");
+        println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
+        println!();
+        println!("FLAGS:");
+        println!("    --md       emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
+        println!("    --smoke    reduced sizes for a quick sanity run");
+        println!("    -h, --help print this help");
+        return;
+    }
+    if let Some(unknown) = args.iter().find(|a| !matches!(a.as_str(), "--md" | "--smoke")) {
+        eprintln!("error: unknown flag '{unknown}' (try --help)");
+        std::process::exit(2);
+    }
     let markdown = args.iter().any(|a| a == "--md");
     let scale = if args.iter().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
     let seed = 42;

@@ -420,13 +420,19 @@ pub fn e5_replication(scale: Scale, seed: u64) -> Table {
     let trials = scale.queries(200);
     for &availability in &[0.9, 0.7, 0.5] {
         for &replicas in &[1usize, 2, 4, 8] {
-            let mut rng = rng_for(seed, &format!("e5-{availability}-{replicas}"));
             let (mut world, community) =
                 pattern_world(ProtocolKind::Gnutella, peers, replicas, seed);
             let mut found = 0usize;
             let mut fetched = 0usize;
             for trial in 0..trials {
                 let origin = (trial * 13 + 1) % peers;
+                // Common random numbers: the churn snapshot for a trial
+                // depends only on (availability, trial), so every replica
+                // count faces the identical alive/dead pattern. Together
+                // with nested provider placement (see assign_providers)
+                // this makes found-rate monotone in `replicas` per trial,
+                // not just in expectation.
+                let mut rng = rng_for(seed, &format!("e5-{availability}-t{trial}"));
                 churn::apply_snapshot(
                     &mut *world.net,
                     availability,

@@ -73,6 +73,15 @@ pub fn rng_for(seed: u64, label: &str) -> StdRng {
 
 /// Splits a corpus across peers: object `i` is assigned
 /// `replicas` distinct provider peers chosen deterministically.
+///
+/// Placement is a prefix of a per-object Fisher–Yates shuffle, and the
+/// shuffle consumes the same number of RNG draws regardless of
+/// `replicas`. Both together make placements *nested*: given the same
+/// rng seed, the providers for `replicas = r` are a subset of those for
+/// `replicas = r' > r`. The replication experiment (E5) relies on this
+/// to compare replica counts under common random numbers, which turns
+/// availability monotonicity from a statistical tendency into a
+/// per-trial invariant.
 pub fn assign_providers(
     objects: usize,
     peers: usize,
@@ -82,14 +91,13 @@ pub fn assign_providers(
     let replicas = replicas.min(peers);
     (0..objects)
         .map(|_| {
-            let mut chosen = Vec::with_capacity(replicas);
-            while chosen.len() < replicas {
-                let p = rng.gen_range(0..peers) as u32;
-                if !chosen.contains(&p) {
-                    chosen.push(p);
-                }
+            let mut order: Vec<u32> = (0..peers as u32).collect();
+            for i in (1..peers).rev() {
+                let j = rng.gen_range(0..i + 1);
+                order.swap(i, j);
             }
-            chosen
+            order.truncate(replicas);
+            order
         })
         .collect()
 }

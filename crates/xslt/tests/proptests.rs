@@ -2,7 +2,7 @@
 //! reproduce any tree, and sorting must agree with a reference sort.
 
 use proptest::prelude::*;
-use up2p_xml::{Document, ElementBuilder};
+use up2p_xml::ElementBuilder;
 use up2p_xslt::Stylesheet;
 
 const IDENTITY: &str = r#"<xsl:stylesheet version="1.0"

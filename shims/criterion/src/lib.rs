@@ -1,0 +1,217 @@
+//! Minimal offline stand-in for `criterion`: enough of the API for
+//! `harness = false` bench targets to compile and produce useful
+//! wall-clock numbers. Each benchmark is warmed up briefly, then timed
+//! over an adaptive iteration count; median ns/iter is printed in a
+//! criterion-like one-line format. Statistical analysis, plotting and
+//! HTML reports are out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark spends measuring (after a short warm-up).
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+const WARMUP_TIME: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// When true (cargo passes `--test` to bench targets under
+    /// `cargo test --benches`), run each body once and skip timing.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Mirrors the real crate's CLI entry point. Recognises the flags
+    /// cargo's bench/test harness protocol passes; ignores filters.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(self.test_mode, &name.into(), &mut f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(self.criterion.test_mode, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(self.criterion.test_mode, &label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted anywhere the real crate takes `id: impl Into<...>`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    /// Median ns per iteration, filled in by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Time several batches and keep the median batch.
+        let batch: u64 = ((MEASURE_TIME.as_secs_f64() / 5.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn run_one(test_mode: bool, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { test_mode, result_ns: 0.0 };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else if b.result_ns >= 1e6 {
+        println!("{label:<50} time: [{:.3} ms/iter]", b.result_ns / 1e6);
+    } else if b.result_ns >= 1e3 {
+        println!("{label:<50} time: [{:.3} us/iter]", b.result_ns / 1e3);
+    } else {
+        println!("{label:<50} time: [{:.1} ns/iter]", b.result_ns);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring the real macro's
+/// simple form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `fn main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| b.iter(|| black_box(n)));
+        g.finish();
+    }
+}

@@ -1,0 +1,123 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Length specification accepted by collection strategies: a `usize`
+/// (exact), or a half-open `Range<usize>` (as in the real crate).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.range(self.lo, self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Vectors of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Ordered sets of values from `element`. The target size is drawn from
+/// `size`; duplicates are retried a bounded number of times, so the
+/// final set can be smaller than the target (min 1 when `size` requires
+/// at least one element), matching the real crate's best-effort filling.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 10 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("collection::tests", 0)
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0u8..10, 2..5);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let s = vec(Just(1u8), 3usize);
+        assert_eq!(s.generate(&mut rng()), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn btree_set_caps_duplicates() {
+        let s = btree_set(Just(7u8), 1..4);
+        let set = s.generate(&mut rng());
+        assert_eq!(set.len(), 1);
+    }
+}

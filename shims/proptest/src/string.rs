@@ -1,0 +1,374 @@
+//! Regex-literal string strategies: `"[a-z][a-z0-9]{0,8}"` as a
+//! `Strategy<Value = String>`, covering the pattern subset the
+//! workspace's suites use — character classes (with ranges, negation
+//! and `&&`-intersection), the `\PC` "any non-control" escape, literal
+//! characters, and the `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The sampling universe for `\PC` and negated classes: printable,
+/// non-control codepoints across several scripts so unicode handling is
+/// exercised without ever generating control characters.
+const UNIVERSE: &[(u32, u32)] = &[
+    (0x20, 0x7E),     // ASCII printable
+    (0xA1, 0xFF),     // Latin-1 supplement (printable part)
+    (0x100, 0x17F),   // Latin Extended-A
+    (0x391, 0x3C9),   // Greek
+    (0x2600, 0x2603), // misc symbols (snowman and friends)
+    (0x4E00, 0x4E2F), // a few CJK ideographs
+];
+
+/// A set of codepoints as sorted, disjoint, inclusive ranges.
+#[derive(Debug, Clone, Default)]
+struct CharSet {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharSet {
+    fn universe() -> CharSet {
+        CharSet { ranges: UNIVERSE.to_vec() }
+    }
+
+    fn push(&mut self, lo: u32, hi: u32) {
+        self.ranges.push((lo, hi));
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 + 1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    fn contains(&self, c: u32) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+    }
+
+    /// Set difference `self - other`, used for `[^...]` (via universe)
+    /// and `&&[^...]` intersection-with-complement.
+    fn subtract(&self, other: &CharSet) -> CharSet {
+        let mut out = CharSet::default();
+        for &(lo, hi) in &self.ranges {
+            let mut cursor = lo;
+            while cursor <= hi {
+                if other.contains(cursor) {
+                    cursor += 1;
+                } else {
+                    let mut end = cursor;
+                    while end < hi && !other.contains(end + 1) {
+                        end += 1;
+                    }
+                    out.push(cursor, end);
+                    cursor = end + 1;
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    fn intersect(&self, other: &CharSet) -> CharSet {
+        self.subtract(&CharSet::universe().subtract(other))
+    }
+
+    fn count(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum()
+    }
+
+    fn nth(&self, mut index: u64) -> char {
+        for &(lo, hi) in &self.ranges {
+            let span = (hi - lo + 1) as u64;
+            if index < span {
+                return char::from_u32(lo + index as u32).unwrap_or('?');
+            }
+            index -= span;
+        }
+        '?'
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // Bias toward ASCII (3 in 4) when the set spans both, so typical
+        // strings look realistic while unicode still appears.
+        let ascii = CharSet { ranges: vec![(0x20, 0x7E)] };
+        let ascii_part = self.intersect(&ascii);
+        let use_ascii = ascii_part.count() > 0 && rng.chance(3, 4);
+        let pool = if use_ascii { &ascii_part } else { self };
+        let n = pool.count();
+        if n == 0 {
+            return '?';
+        }
+        pool.nth(rng.below(n))
+    }
+}
+
+/// One regex atom plus its repetition bounds (inclusive).
+#[derive(Debug, Clone)]
+struct Piece {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the supported regex subset. Unsupported syntax degrades to
+/// literal characters rather than erroring, since generation (not
+/// matching) is the goal.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                let (set, next) = parse_escape(&chars, i + 1);
+                i = next;
+                set
+            }
+            c => {
+                i += 1;
+                let mut s = CharSet::default();
+                s.push(c as u32, c as u32);
+                s
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i);
+        pieces.push(Piece { set, min, max });
+    }
+    pieces
+}
+
+/// Parses after `\`: `\PC` / `\P{C}` (non-control), `\pL`-ish escapes
+/// fall back to the universe; anything else is the literal char.
+fn parse_escape(chars: &[char], mut i: usize) -> (CharSet, usize) {
+    match chars.get(i) {
+        Some('P') | Some('p') => {
+            // Skip the category spec: `C` or `{..}`.
+            i += 1;
+            if chars.get(i) == Some(&'{') {
+                while i < chars.len() && chars[i] != '}' {
+                    i += 1;
+                }
+                i += 1;
+            } else if i < chars.len() {
+                i += 1;
+            }
+            (CharSet::universe(), i)
+        }
+        Some(&c) => {
+            let mut s = CharSet::default();
+            let lit = match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            };
+            s.push(lit as u32, lit as u32);
+            (s, i + 1)
+        }
+        None => (CharSet::universe(), i),
+    }
+}
+
+/// Parses a character class body starting just past `[`. Returns the
+/// set and the index just past the closing `]`. Supports negation and
+/// `&&[class]` intersection.
+fn parse_class(chars: &[char], mut i: usize) -> (CharSet, usize) {
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut set = CharSet::default();
+    let mut intersections: Vec<CharSet> = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+            i += 2;
+            if chars.get(i) == Some(&'[') {
+                let (nested, next) = parse_class(chars, i + 1);
+                intersections.push(nested);
+                i = next;
+            }
+            continue;
+        }
+        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            match chars[i - 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // Range `a-z` (a trailing `-` is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 1];
+            i += 2;
+            set.push(lo as u32, hi as u32);
+        } else {
+            set.push(lo as u32, lo as u32);
+        }
+    }
+    i += 1; // consume `]`
+    set.normalize();
+    let mut result = if negated { CharSet::universe().subtract(&set) } else { set };
+    for other in intersections {
+        result = result.intersect(&other);
+    }
+    (result, i)
+}
+
+/// Parses an optional quantifier at `chars[*i]`, advancing past it.
+fn parse_quantifier(chars: &[char], i: &mut usize) -> (u32, u32) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..].iter().position(|&c| c == '}').map(|p| *i + p);
+            let Some(close) = close else {
+                *i += 1;
+                return (1, 1);
+            };
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse::<u32>().unwrap_or(0);
+                let hi = hi.trim().parse::<u32>().unwrap_or(lo.max(8));
+                (lo, hi.max(lo))
+            } else {
+                let n = body.trim().parse::<u32>().unwrap_or(1);
+                (n, n)
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let reps = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32
+        };
+        for _ in 0..reps {
+            out.push(piece.set.sample(rng));
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// A printable char from the universe (used by `any::<char>()`).
+pub fn printable_char(rng: &mut TestRng) -> char {
+    CharSet::universe().sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{2,6}".generate(&mut r);
+            assert!((2..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut r);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().count() <= 9);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_escape_excludes_controls() {
+        let mut r = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = "\\PC{0,40}".generate(&mut r);
+            assert!(s.chars().count() <= 40);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "unicode should appear occasionally");
+    }
+
+    #[test]
+    fn intersection_with_negated_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~&&[^<>&]]{1,20}".generate(&mut r);
+            assert!(!s.is_empty() && s.chars().count() <= 20);
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && !"<>&".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_in_class_and_ranges() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z0-9 ]{1,12}".generate(&mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut r = rng();
+        assert_eq!("a{3}".generate(&mut r), "aaa");
+        assert_eq!("abc".generate(&mut r), "abc");
+    }
+}

@@ -1,37 +1,120 @@
-//! Regenerates every experiment table (E1–E7).
+//! Regenerates experiment tables (E1–E8).
 //!
 //! ```text
-//! cargo run -p up2p-sim --release --bin run_experiments            # ASCII to stdout
-//! cargo run -p up2p-sim --release --bin run_experiments -- --md    # markdown (EXPERIMENTS.md body)
-//! cargo run -p up2p-sim --release --bin run_experiments -- --smoke # reduced sizes
+//! cargo run -p up2p-sim --release --bin run_experiments             # all, ASCII
+//! cargo run -p up2p-sim --release --bin run_experiments -- --md     # markdown (EXPERIMENTS.md body)
+//! cargo run -p up2p-sim --release --bin run_experiments -- --smoke  # reduced sizes
+//! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e8 --quick
 //! ```
+//!
+//! Running E8 (alone or as part of the full run) also writes its JSON
+//! metrics to `BENCH_e8_index_scale.json` (override with `--out PATH`) —
+//! the perf-trajectory artifact CI uploads.
 
-use up2p_sim::{run_all, Scale};
+use up2p_sim::{
+    e1_pipeline, e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation,
+    e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale_report, Scale, Table,
+};
+
+const E8_REPORT_DEFAULT: &str = "BENCH_e8_index_scale.json";
+
+fn print_help() {
+    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E8)");
+    println!();
+    println!("USAGE:");
+    println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
+    println!();
+    println!("FLAGS:");
+    println!("    --md              emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
+    println!("    --smoke, --quick  reduced sizes for a quick sanity run");
+    println!("    --scenario NAME   run one scenario only (e1..e8)");
+    println!("    --out PATH        where the E8 JSON report goes (default {E8_REPORT_DEFAULT})");
+    println!("    -h, --help        print this help");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("run_experiments — regenerate the U-P2P experiment tables (E1-E7)");
-        println!();
-        println!("USAGE:");
-        println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
-        println!();
-        println!("FLAGS:");
-        println!("    --md       emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
-        println!("    --smoke    reduced sizes for a quick sanity run");
-        println!("    -h, --help print this help");
+        print_help();
         return;
     }
-    if let Some(unknown) = args.iter().find(|a| !matches!(a.as_str(), "--md" | "--smoke")) {
-        eprintln!("error: unknown flag '{unknown}' (try --help)");
-        std::process::exit(2);
+    let mut markdown = false;
+    let mut scale = Scale::Full;
+    let mut scenario: Option<String> = None;
+    let mut out_path = E8_REPORT_DEFAULT.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--md" => markdown = true,
+            "--smoke" | "--quick" => scale = Scale::Smoke,
+            "--scenario" => match it.next() {
+                Some(name) => scenario = Some(name.clone()),
+                None => {
+                    eprintln!("error: --scenario needs a name (e1..e8)");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            unknown => {
+                eprintln!("error: unknown flag '{unknown}' (try --help)");
+                std::process::exit(2);
+            }
+        }
     }
-    let markdown = args.iter().any(|a| a == "--md");
-    let scale = if args.iter().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Full };
     let seed = 42;
 
-    eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
-    let tables = run_all(scale, seed);
+    let run_e8 = |tables: &mut Vec<Table>| {
+        let (table, report) = e8_index_scale_report(scale, seed);
+        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+            eprintln!("warning: could not write {out_path}: {e}");
+        } else {
+            eprintln!("wrote {out_path}");
+        }
+        tables.push(table);
+    };
+
+    let mut tables = Vec::new();
+    match scenario.as_deref() {
+        None => {
+            // same order as run_all, with E8 run through run_e8 so the
+            // JSON report is written on full runs too (and E8 only once)
+            eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
+            tables.push(e1_pipeline());
+            tables.push(e2_generation(&[4, 8, 16, 32, 64]));
+            tables.push(e3_discovery(scale, seed));
+            tables.push(e4_metadata());
+            tables.push(e5_replication(scale, seed));
+            tables.push(e6_protocols(scale, seed));
+            tables.push(e6_ttl_sweep(scale, seed));
+            tables.push(e6_dedup_ablation(scale, seed));
+            tables.push(e6_topologies(scale, seed));
+            tables.push(e7_indexing());
+            run_e8(&mut tables);
+        }
+        Some("e1") => tables.push(e1_pipeline()),
+        Some("e2") => tables.push(e2_generation(&[4, 8, 16, 32, 64])),
+        Some("e3") => tables.push(e3_discovery(scale, seed)),
+        Some("e4") => tables.push(e4_metadata()),
+        Some("e5") => tables.push(e5_replication(scale, seed)),
+        Some("e6") => {
+            tables.push(e6_protocols(scale, seed));
+            tables.push(e6_ttl_sweep(scale, seed));
+            tables.push(e6_dedup_ablation(scale, seed));
+            tables.push(e6_topologies(scale, seed));
+        }
+        Some("e7") => tables.push(e7_indexing()),
+        Some("e8") => run_e8(&mut tables),
+        Some(other) => {
+            eprintln!("error: unknown scenario '{other}' (expected e1..e8)");
+            std::process::exit(2);
+        }
+    }
     for table in tables {
         if markdown {
             println!("{}\n", table.to_markdown());

@@ -347,6 +347,42 @@ pub fn song_filename(s: &SongRecord) -> String {
     )
 }
 
+/// Genre enumeration of the synthetic track corpus — E8's exact-match
+/// query terms are drawn from this list.
+pub const TRACK_GENRES: [&str; 8] =
+    ["rock", "jazz", "classical", "electronic", "folk", "blues", "soul", "ambient"];
+
+/// Deterministically generates `n` synthetic track field sets for the
+/// index-scale experiment (E8): a Zipf-skewed vocabulary of title words,
+/// a long tail of artists, a small genre enumeration and a year — the
+/// shape of a large music-sharing community's metadata.
+pub fn synthetic_track_fields(n: usize, seed: u64) -> Vec<Vec<(String, String)>> {
+    use crate::workload::{rng_for, Zipf};
+    use rand::Rng;
+    let mut rng = rng_for(seed, "e8-corpus");
+    let vocab = Zipf::new(5000, 1.05);
+    let artists = Zipf::new(1000, 1.05);
+    (0..n)
+        .map(|i| {
+            let title = format!(
+                "word{:04} word{:04} word{:04}",
+                vocab.sample(&mut rng),
+                vocab.sample(&mut rng),
+                vocab.sample(&mut rng)
+            );
+            vec![
+                ("track/title".to_string(), title),
+                ("track/artist".to_string(), format!("artist{:03}", artists.sample(&mut rng))),
+                (
+                    "track/genre".to_string(),
+                    TRACK_GENRES[rng.gen_range(0..TRACK_GENRES.len())].to_string(),
+                ),
+                ("track/year".to_string(), format!("{}", 1950 + i % 70)),
+            ]
+        })
+        .collect()
+}
+
 /// A molecule record (CML-flavored, §I example).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MoleculeRecord {

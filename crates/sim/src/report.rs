@@ -106,6 +106,54 @@ impl fmt::Display for Table {
     }
 }
 
+/// A flat named-metric report serialized as JSON — the `BENCH_*.json`
+/// perf-trajectory artifacts CI uploads (first series: E8 index scale).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Report name (e.g. `e8_index_scale`).
+    pub name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>) -> BenchReport {
+        BenchReport { name: name.into(), metrics: Vec::new() }
+    }
+
+    /// Records (or overwrites) a metric.
+    pub fn push(&mut self, key: &str, value: f64) -> &mut BenchReport {
+        match self.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Reads a metric back.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Renders as a stable JSON object (insertion order preserved;
+    /// non-finite values become `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", self.name.replace('"', "\\\"")));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            if v.is_finite() {
+                out.push_str(&format!("    \"{}\": {v}{comma}\n", k.replace('"', "\\\"")));
+            } else {
+                out.push_str(&format!("    \"{}\": null{comma}\n", k.replace('"', "\\\"")));
+            }
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
 /// Formats a float with sensible experiment precision.
 pub fn fnum(v: f64) -> String {
     if v == 0.0 {
@@ -162,6 +210,22 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn row_width_checked() {
         Table::new("T", &["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn bench_report_json_round_trip_shape() {
+        let mut r = BenchReport::new("e8_index_scale");
+        r.push("objects", 100000.0).push("insert_per_sec", 412345.5).push("bad", f64::NAN);
+        r.push("objects", 90000.0); // overwrite keeps one entry
+        assert_eq!(r.get("objects"), Some(90000.0));
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"e8_index_scale\""));
+        assert!(json.contains("\"objects\": 90000"));
+        assert!(json.contains("\"insert_per_sec\": 412345.5"));
+        assert!(json.contains("\"bad\": null"));
+        // valid object shape: balanced braces, no trailing comma
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }"));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::corpus::{
 };
 use crate::experiment::{pattern_world, World};
 use crate::metrics::{retrieval_quality, Series};
-use crate::report::{fnum, Table};
+use crate::report::{fnum, BenchReport, Table};
 use crate::workload::{rng_for, Zipf};
 use rand::Rng;
 use std::time::Instant;
@@ -740,6 +740,211 @@ pub fn e7_indexing() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// E8 — ROADMAP: the metadata index at scale
+// ---------------------------------------------------------------------
+
+/// E8: loads a large synthetic corpus into the interned-doc-id metadata
+/// index and measures insert throughput (sequential, batch and through
+/// the repository), query latency per query class, and targeted-removal
+/// cost. Returns the report table; [`e8_index_scale_report`] also yields
+/// the JSON metrics written to `BENCH_e8_index_scale.json`.
+pub fn e8_index_scale(scale: Scale, seed: u64) -> Table {
+    e8_index_scale_report(scale, seed).0
+}
+
+/// E8 with the machine-readable metrics alongside the table.
+pub fn e8_index_scale_report(scale: Scale, seed: u64) -> (Table, BenchReport) {
+    use up2p_store::{MetadataIndex, ResourceId, ValuePattern};
+    let n = match scale {
+        Scale::Full => 100_000,
+        Scale::Smoke => 10_000,
+    };
+    let reps = scale.queries(100);
+    let mut t = Table::new(
+        format!("E8 (ROADMAP): metadata index at scale ({n} synthetic tracks)"),
+        &["operation", "count", "per-unit us", "throughput /s", "detail"],
+    );
+    let mut report = BenchReport::new("e8_index_scale");
+    report.push("objects", n as f64);
+
+    let fields = corpus::synthetic_track_fields(n, seed);
+    let items: Vec<(ResourceId, Vec<(String, String)>)> = fields
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| (ResourceId::for_bytes(&(i as u64).to_le_bytes()), f))
+        .collect();
+
+    // sequential inserts (the servent's publish path); clone outside the
+    // timed region so only index work is measured
+    let work = items.clone();
+    let started = Instant::now();
+    let mut ix = MetadataIndex::new();
+    for (id, f) in work {
+        ix.insert(id, f);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    report.push("insert_per_sec", n as f64 / secs);
+    t.row([
+        "sequential insert".to_string(),
+        n.to_string(),
+        fnum(secs * 1e6 / n as f64),
+        fnum(n as f64 / secs),
+        "one MetadataIndex::insert per object".to_string(),
+    ]);
+
+    // batch insert (bulk load with deferred posting-list merging); the
+    // sequential index is dropped first so both loads face the same heap
+    drop(ix);
+    let work = items.clone();
+    let started = Instant::now();
+    let mut ix = MetadataIndex::new();
+    ix.insert_batch(work);
+    let secs = started.elapsed().as_secs_f64();
+    report.push("batch_insert_per_sec", n as f64 / secs);
+    t.row([
+        "batch insert".to_string(),
+        n.to_string(),
+        fnum(secs * 1e6 / n as f64),
+        fnum(n as f64 / secs),
+        "MetadataIndex::insert_batch".to_string(),
+    ]);
+
+    // repository batch load over real XML documents (smaller slice:
+    // parse + content addressing dominate above the index)
+    let docs_n = (n / 20).max(100);
+    let xml_docs: Vec<String> = items
+        .iter()
+        .take(docs_n)
+        .map(|(_, f)| {
+            let cell = |leaf: &str| {
+                f.iter().find(|(p, _)| p.ends_with(leaf)).map(|(_, v)| v.as_str()).unwrap_or("")
+            };
+            format!(
+                "<track><title>{}</title><artist>{}</artist><genre>{}</genre><year>{}</year></track>",
+                cell("title"),
+                cell("artist"),
+                cell("genre"),
+                cell("year")
+            )
+        })
+        .collect();
+    let paths: Vec<String> = ["track/title", "track/artist", "track/genre", "track/year"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let parsed: Vec<up2p_xml::Document> =
+        xml_docs.iter().map(|x| up2p_xml::Document::parse(x).expect("synthetic XML")).collect();
+    let started = Instant::now();
+    let mut repo = Repository::new();
+    let repo_ids = repo.insert_batch("tracks", parsed, &paths);
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(repo.len(), repo_ids.iter().collect::<std::collections::BTreeSet<_>>().len());
+    report.push("repo_batch_docs_per_sec", docs_n as f64 / secs);
+    t.row([
+        "repository batch insert".to_string(),
+        docs_n.to_string(),
+        fnum(secs * 1e6 / docs_n as f64),
+        fnum(docs_n as f64 / secs),
+        "Repository::insert_batch (XML + hash + index)".to_string(),
+    ]);
+
+    // query latency per class, over the populated index
+    let genres = corpus::TRACK_GENRES;
+    let classes: Vec<(&str, Vec<Query>)> = vec![
+        (
+            "exact",
+            (0..reps).map(|i| Query::eq("track/genre", genres[i % genres.len()])).collect(),
+        ),
+        (
+            "keyword",
+            (0..reps).map(|i| Query::keyword("title", &format!("word{:04}", i % 200))).collect(),
+        ),
+        (
+            "wildcard",
+            (0..reps)
+                .map(|i| Query::Match {
+                    field: "track/artist".to_string(),
+                    pattern: ValuePattern::from_wildcard(&format!("artist{:02}*", i % 100)),
+                })
+                .collect(),
+        ),
+        (
+            "boolean",
+            (0..reps)
+                .map(|i| {
+                    Query::and([
+                        Query::eq("track/genre", genres[i % genres.len()]),
+                        Query::keyword("title", &format!("word{:04}", i % 200)),
+                    ])
+                })
+                .collect(),
+        ),
+    ];
+    let mut query_secs = 0.0;
+    let mut query_ops = 0usize;
+    for (class, queries) in &classes {
+        let started = Instant::now();
+        let mut hits = 0usize;
+        for q in queries {
+            hits += ix.execute(q).len();
+        }
+        let secs = started.elapsed().as_secs_f64();
+        query_secs += secs;
+        query_ops += queries.len();
+        let us = secs * 1e6 / queries.len() as f64;
+        report.push(&format!("{class}_query_us"), us);
+        t.row([
+            format!("{class} query"),
+            queries.len().to_string(),
+            fnum(us),
+            fnum(1e6 / us.max(1e-9)),
+            format!("{} hits total", hits),
+        ]);
+    }
+
+    // the headline scale metric: inserts + queries per wall-clock second
+    // (sequential-insert time + all query time over one workload)
+    let insert_secs = n as f64 / report.get("insert_per_sec").expect("recorded above");
+    let combined = (n + query_ops) as f64 / (insert_secs + query_secs);
+    report.push("insert_plus_query_per_sec", combined);
+    t.row([
+        "insert+query combined".to_string(),
+        (n + query_ops).to_string(),
+        String::new(),
+        fnum(combined),
+        "sequential insert + all query classes".to_string(),
+    ]);
+
+    // targeted removal: cost proportional to the object's own postings
+    let removals = n / 10;
+    let started = Instant::now();
+    for (id, _) in items.iter().take(removals) {
+        ix.remove(id);
+    }
+    let us = started.elapsed().as_secs_f64() * 1e6 / removals as f64;
+    report.push("remove_us_per_object", us);
+    t.row([
+        "targeted remove".to_string(),
+        removals.to_string(),
+        fnum(us),
+        fnum(1e6 / us.max(1e-9)),
+        "replays the removed object's own postings".to_string(),
+    ]);
+
+    let stats = ix.stats();
+    report.push("token_postings", stats.token_postings as f64);
+    report.push("approx_bytes", stats.approx_bytes as f64);
+    t.row([
+        "index size".to_string(),
+        stats.objects.to_string(),
+        String::new(),
+        String::new(),
+        format!("{} token postings, {} bytes interned", stats.token_postings, stats.approx_bytes),
+    ]);
+    (t, report)
+}
+
 /// Runs every scenario at the given scale, returning all tables in
 /// EXPERIMENTS.md order.
 pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
@@ -754,6 +959,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
         e6_dedup_ablation(scale, seed),
         e6_topologies(scale, seed),
         e7_indexing(),
+        e8_index_scale(scale, seed),
     ]
 }
 
@@ -861,6 +1067,34 @@ mod tests {
             ring_recall <= sw_recall + 1e-9,
             "ring {ring_recall} should not beat small world {sw_recall}"
         );
+    }
+
+    #[test]
+    fn e8_reports_all_operations_with_sane_metrics() {
+        let (t, report) = e8_index_scale_report(Scale::Smoke, 7);
+        // sequential, batch, repo-batch, 4 query classes, combined,
+        // remove, size
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(report.get("objects"), Some(10_000.0));
+        for key in [
+            "insert_per_sec",
+            "batch_insert_per_sec",
+            "repo_batch_docs_per_sec",
+            "exact_query_us",
+            "keyword_query_us",
+            "wildcard_query_us",
+            "boolean_query_us",
+            "insert_plus_query_per_sec",
+            "remove_us_per_object",
+            "token_postings",
+            "approx_bytes",
+        ] {
+            let v = report.get(key).unwrap_or_else(|| panic!("missing metric {key}"));
+            assert!(v > 0.0, "{key} should be positive, got {v}");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"e8_index_scale\""));
+        assert!(json.contains("insert_per_sec"));
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! and is implemented here to keep the dependency budget at zero.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A 160-bit content hash identifying a stored object, shown as 40 hex
-/// digits.
+/// digits. Backed by a shared `Arc<str>`, so cloning an id (every search
+/// hit, every posting materialization) is a reference-count bump rather
+/// than a 40-byte heap copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ResourceId(String);
+pub struct ResourceId(Arc<str>);
 
 impl ResourceId {
     /// Identifier for an object: hash of its community id and its
@@ -20,12 +23,12 @@ impl ResourceId {
         data.extend_from_slice(community.as_bytes());
         data.push(0);
         data.extend_from_slice(xml.as_bytes());
-        ResourceId(hex(&sha1(&data)))
+        ResourceId(hex(&sha1(&data)).into())
     }
 
     /// Identifier from raw bytes (attachments).
     pub fn for_bytes(bytes: &[u8]) -> ResourceId {
-        ResourceId(hex(&sha1(bytes)))
+        ResourceId(hex(&sha1(bytes)).into())
     }
 
     /// The 40-char hex form.
@@ -36,7 +39,7 @@ impl ResourceId {
     /// Parses a hex id (for persistence).
     pub fn from_hex(s: &str) -> Option<ResourceId> {
         if s.len() == 40 && s.chars().all(|c| c.is_ascii_hexdigit()) {
-            Some(ResourceId(s.to_ascii_lowercase()))
+            Some(ResourceId(s.to_ascii_lowercase().into()))
         } else {
             None
         }
@@ -54,12 +57,15 @@ impl fmt::Display for ResourceId {
     }
 }
 
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
 fn hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+    let mut s = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX_DIGITS[(b >> 4) as usize]);
+        s.push(HEX_DIGITS[(b & 0x0f) as usize]);
     }
-    s
+    String::from_utf8(s).expect("hex digits are ASCII")
 }
 
 /// SHA-1 as specified in FIPS 180-1. Used for content addressing only —

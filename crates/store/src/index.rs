@@ -2,38 +2,107 @@
 //!
 //! Only fields extracted by the community's *Indexed Attribute* filter
 //! (Fig. 1 of the paper) enter the index; experiment E7 measures the
-//! size/recall trade-off this enables. Two structures are maintained per
-//! field: a token index (keyword search) and a normalized-value index
-//! (exact matches, e.g. enumerations).
+//! size/recall trade-off this enables, and E8 measures the index at scale.
+//!
+//! Layout: every [`ResourceId`] is interned to a dense `u32` doc-id and
+//! every field path / token / normalized value to a `u32` symbol, so a
+//! posting is 4 bytes instead of a cloned 40-char hex `String`. Posting
+//! lists are sorted `Vec<u32>` per `(field path, term)`; `And` intersects
+//! them with galloping (exponential) search, `Or` takes a k-way merge.
+//! Field references resolve through a precomputed suffix map
+//! ([`MetadataIndex::intern_path`] registers `a/b/c` under `a/b/c`, `b/c`
+//! and `c`), so exact references are a single hash lookup instead of a
+//! scan over every field's posting map. Removal replays the removed
+//! object's own stored fields instead of sweeping the whole index.
 
 use crate::digest::ResourceId;
-use crate::query::{field_matches, Query, ValuePattern};
-use crate::tokenizer::{normalize, tokenize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::query::{Query, ValuePattern};
+use crate::tokenizer::{for_each_token, normalize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Interner mapping strings to dense `u32` symbols. Each distinct string
+/// is stored exactly once (as the lookup key); the content byte total is
+/// accumulated on intern so `bytes()` is O(1) and matches what is
+/// actually resident.
+#[derive(Debug, Clone, Default)]
+struct SymbolTable {
+    lookup: HashMap<String, u32>,
+    content_bytes: usize,
+}
+
+impl SymbolTable {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = self.lookup.len() as u32;
+        self.content_bytes += s.len();
+        self.lookup.insert(s.to_string(), sym);
+        sym
+    }
+
+    fn get(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.lookup.len()
+    }
+
+    /// Total bytes of interned string content (each distinct string
+    /// counted once — the point of interning).
+    fn bytes(&self) -> usize {
+        self.content_bytes
+    }
+}
+
+/// Everything stored per indexed object: the original id, the raw
+/// extracted fields (public API + snippets), and the interned/normalized
+/// forms the scan fallback and targeted removal replay.
+#[derive(Debug, Clone)]
+struct DocEntry {
+    id: ResourceId,
+    fields: Vec<(String, String)>,
+    path_syms: Vec<u32>,
+    norms: Vec<String>,
+}
 
 /// Inverted index over extracted `(field path, value)` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct MetadataIndex {
-    /// field path → token → posting list
-    tokens: HashMap<String, HashMap<String, BTreeSet<ResourceId>>>,
-    /// field path → normalized value → posting list
-    exact: HashMap<String, HashMap<String, BTreeSet<ResourceId>>>,
-    /// id → extracted fields (scan fallback + result snippets)
-    stored: BTreeMap<ResourceId, Vec<(String, String)>>,
+    /// Field-path interner; `tokens`/`exact` are indexed by path symbol.
+    paths: SymbolTable,
+    /// Shared interner for tokens and normalized values.
+    terms: SymbolTable,
+    /// Field reference (full path or any `/`-aligned suffix) → path
+    /// symbols it matches, in ascending symbol order.
+    ref_paths: HashMap<String, Vec<u32>>,
+    /// Per path symbol: token symbol → sorted doc-id posting list.
+    tokens: Vec<HashMap<u32, Vec<u32>>>,
+    /// Per path symbol: normalized-value symbol → sorted posting list.
+    exact: Vec<HashMap<u32, Vec<u32>>>,
+    /// Doc-id → entry; `None` marks a recycled slot.
+    docs: Vec<Option<DocEntry>>,
+    /// ResourceId → doc-id for every live object.
+    doc_ids: HashMap<ResourceId, u32>,
+    /// Recycled doc-ids available for reuse.
+    free: Vec<u32>,
 }
 
-/// Size statistics for experiment E7 (index filtering ablation).
+/// Size statistics for experiments E7/E8 (index filtering and scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IndexStats {
     /// Number of indexed objects.
     pub objects: usize,
-    /// Distinct field paths.
+    /// Distinct field paths with at least one posting.
     pub fields: usize,
     /// Total postings across the token index.
     pub token_postings: usize,
     /// Total postings across the exact-value index.
     pub exact_postings: usize,
-    /// Approximate resident bytes of key material.
+    /// Approximate resident bytes: interned path/term string content
+    /// (each distinct string once), 4 bytes per posting, 4 bytes per
+    /// posting-list key, and the 40-byte hex id per live object.
     pub approx_bytes: usize,
 }
 
@@ -46,165 +115,419 @@ impl MetadataIndex {
     /// Indexes (or re-indexes) an object's extracted fields.
     pub fn insert(&mut self, id: ResourceId, fields: Vec<(String, String)>) {
         self.remove(&id);
-        for (path, value) in &fields {
-            let norm = normalize(value);
-            self.exact
-                .entry(path.clone())
-                .or_default()
-                .entry(norm)
-                .or_default()
-                .insert(id.clone());
-            for token in tokenize(value) {
-                self.tokens
-                    .entry(path.clone())
-                    .or_default()
-                    .entry(token)
-                    .or_default()
-                    .insert(id.clone());
-            }
-        }
-        self.stored.insert(id, fields);
+        let doc = self.alloc_doc(id.clone());
+        let entry = self.post_fields(doc, id, fields, None);
+        self.docs[doc as usize] = Some(entry);
     }
 
-    /// Removes an object from all postings.
+    /// Bulk-inserts a batch, deferring posting-list ordering until the
+    /// whole batch is in: lists touched by the batch are appended to
+    /// unchecked, then sorted and deduplicated once at the end. When the
+    /// batch repeats an id, the last occurrence wins (sequential-insert
+    /// semantics).
+    pub fn insert_batch<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (ResourceId, Vec<(String, String)>)>,
+    {
+        let items: Vec<(ResourceId, Vec<(String, String)>)> = batch.into_iter().collect();
+        // removals first, while every posting list is still sorted; also
+        // mark all but the last occurrence of a repeated id as skipped
+        let mut keep = vec![true; items.len()];
+        {
+            let mut last: HashMap<&ResourceId, usize> = HashMap::with_capacity(items.len());
+            for (i, (id, _)) in items.iter().enumerate() {
+                if let Some(prev) = last.insert(id, i) {
+                    keep[prev] = false;
+                }
+            }
+        }
+        for (id, _) in &items {
+            self.remove(id);
+        }
+        self.docs.reserve(items.len());
+        self.doc_ids.reserve(items.len());
+        let mut dirty: HashSet<(bool, u32, u32)> = HashSet::new();
+        for (i, (id, fields)) in items.into_iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let doc = self.alloc_doc(id.clone());
+            let entry = self.post_fields(doc, id, fields, Some(&mut dirty));
+            self.docs[doc as usize] = Some(entry);
+        }
+        for (is_token, path, term) in dirty {
+            let maps = if is_token { &mut self.tokens } else { &mut self.exact };
+            if let Some(list) = maps[path as usize].get_mut(&term) {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
+    }
+
+    /// Removes an object by replaying its own stored fields — cost is
+    /// proportional to the removed object's postings, not the index size.
     pub fn remove(&mut self, id: &ResourceId) {
-        if self.stored.remove(id).is_none() {
-            return;
-        }
-        for per_field in self.tokens.values_mut() {
-            per_field.retain(|_, ids| {
-                ids.remove(id);
-                !ids.is_empty()
+        let Some(doc) = self.doc_ids.remove(id) else { return };
+        let entry = self.docs[doc as usize].take().expect("live doc-id has an entry");
+        for (i, (_, value)) in entry.fields.iter().enumerate() {
+            let path = entry.path_syms[i] as usize;
+            if let Some(v) = self.terms.get(&entry.norms[i]) {
+                unpost(&mut self.exact[path], v, doc);
+            }
+            let (terms, tokens) = (&self.terms, &mut self.tokens);
+            for_each_token(value, |token| {
+                if let Some(t) = terms.get(token) {
+                    unpost(&mut tokens[path], t, doc);
+                }
             });
         }
-        for per_field in self.exact.values_mut() {
-            per_field.retain(|_, ids| {
-                ids.remove(id);
-                !ids.is_empty()
-            });
-        }
+        self.free.push(doc);
     }
 
     /// Number of indexed objects.
     pub fn len(&self) -> usize {
-        self.stored.len()
+        self.doc_ids.len()
     }
 
     /// `true` when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.stored.is_empty()
+        self.doc_ids.is_empty()
     }
 
     /// The extracted fields of an indexed object.
     pub fn fields(&self, id: &ResourceId) -> Option<&[(String, String)]> {
-        self.stored.get(id).map(Vec::as_slice)
+        let doc = *self.doc_ids.get(id)?;
+        Some(self.docs[doc as usize].as_ref().expect("live doc-id has an entry").fields.as_slice())
     }
 
     /// All indexed ids.
     pub fn ids(&self) -> BTreeSet<ResourceId> {
-        self.stored.keys().cloned().collect()
+        self.doc_ids.keys().cloned().collect()
     }
 
     /// Executes a query, returning matching ids.
     ///
     /// Keyword and exact-match branches are answered from the inverted
-    /// structures; wildcard patterns fall back to scanning stored fields.
-    /// Results always agree with [`Query::matches_fields`] (property-
-    /// tested).
+    /// structures via the reference→path map; wildcard patterns fall back
+    /// to scanning stored normalized values. Results always agree with
+    /// [`Query::matches_fields`] (property-tested).
     pub fn execute(&self, query: &Query) -> BTreeSet<ResourceId> {
+        self.exec(query)
+            .into_iter()
+            .map(|doc| self.docs[doc as usize].as_ref().expect("live doc-id has an entry").id.clone())
+            .collect()
+    }
+
+    /// Allocates a doc-id (recycling freed slots) and registers the id.
+    fn alloc_doc(&mut self, id: ResourceId) -> u32 {
+        let doc = match self.free.pop() {
+            Some(doc) => doc,
+            None => {
+                self.docs.push(None);
+                (self.docs.len() - 1) as u32
+            }
+        };
+        self.doc_ids.insert(id, doc);
+        doc
+    }
+
+    /// Interns a field path, extending the per-path maps and registering
+    /// the path under every `/`-aligned suffix reference.
+    fn intern_path(&mut self, path: &str) -> u32 {
+        if let Some(sym) = self.paths.get(path) {
+            return sym;
+        }
+        let sym = self.paths.intern(path);
+        self.tokens.push(HashMap::new());
+        self.exact.push(HashMap::new());
+        self.ref_paths.entry(path.to_string()).or_default().push(sym);
+        for (i, b) in path.bytes().enumerate() {
+            if b == b'/' {
+                self.ref_paths.entry(path[i + 1..].to_string()).or_default().push(sym);
+            }
+        }
+        sym
+    }
+
+    /// Interns and posts one object's fields. With `dirty` (bulk mode)
+    /// postings are appended unchecked and the touched lists recorded;
+    /// without it every list is kept sorted in place.
+    fn post_fields(
+        &mut self,
+        doc: u32,
+        id: ResourceId,
+        fields: Vec<(String, String)>,
+        mut dirty: Option<&mut HashSet<(bool, u32, u32)>>,
+    ) -> DocEntry {
+        let mut path_syms = Vec::with_capacity(fields.len());
+        let mut norms = Vec::with_capacity(fields.len());
+        for (path, value) in &fields {
+            let p = self.intern_path(path);
+            path_syms.push(p);
+            let norm = normalize(value);
+            let v = self.terms.intern(&norm);
+            let exact_list = self.exact[p as usize].entry(v).or_default();
+            match dirty.as_deref_mut() {
+                Some(d) => bulk_post(exact_list, doc, (false, p, v), d),
+                None => post(exact_list, doc),
+            }
+            let (terms, tokens) = (&mut self.terms, &mut self.tokens);
+            for_each_token(value, |token| {
+                let t = terms.intern(token);
+                let token_list = tokens[p as usize].entry(t).or_default();
+                match dirty.as_deref_mut() {
+                    Some(d) => bulk_post(token_list, doc, (true, p, t), d),
+                    None => post(token_list, doc),
+                }
+            });
+            norms.push(norm);
+        }
+        DocEntry { id, fields, path_syms, norms }
+    }
+
+    /// Sorted doc-ids of every live object.
+    fn all_docs(&self) -> Vec<u32> {
+        self.docs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Path symbols matched by a field reference (empty when no stored
+    /// path matches).
+    fn resolve_reference(&self, reference: &str) -> &[u32] {
+        self.ref_paths.get(reference).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Union of the posting lists for `term` across `paths` in `maps`.
+    fn union_postings(&self, maps: &[HashMap<u32, Vec<u32>>], paths: &[u32], term: u32) -> Vec<u32> {
+        let lists: Vec<&[u32]> =
+            paths.iter().filter_map(|&p| maps[p as usize].get(&term)).map(Vec::as_slice).collect();
+        union_k(&lists)
+    }
+
+    /// Core evaluator over interned doc-ids; every branch returns a
+    /// sorted, duplicate-free list.
+    fn exec(&self, query: &Query) -> Vec<u32> {
         match query {
-            Query::All => self.ids(),
+            Query::All => self.all_docs(),
             Query::And(qs) => {
-                let mut iter = qs.iter();
-                let Some(first) = iter.next() else { return self.ids() };
-                let mut acc = self.execute(first);
-                for q in iter {
+                if qs.is_empty() {
+                    return self.all_docs();
+                }
+                let mut lists = Vec::with_capacity(qs.len());
+                for q in qs {
+                    let l = self.exec(q);
+                    if l.is_empty() {
+                        return Vec::new();
+                    }
+                    lists.push(l);
+                }
+                lists.sort_unstable_by_key(Vec::len);
+                let mut iter = lists.into_iter();
+                let mut acc = iter.next().expect("non-empty And");
+                for l in iter {
+                    acc = intersect_gallop(&acc, &l);
                     if acc.is_empty() {
                         break;
                     }
-                    let next = self.execute(q);
-                    acc = acc.intersection(&next).cloned().collect();
                 }
                 acc
             }
             Query::Or(qs) => {
-                let mut acc = BTreeSet::new();
-                for q in qs {
-                    acc.extend(self.execute(q));
-                }
-                acc
+                let lists: Vec<Vec<u32>> = qs.iter().map(|q| self.exec(q)).collect();
+                let slices: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+                union_k(&slices)
             }
-            Query::Not(q) => {
-                let sub = self.execute(q);
-                self.stored.keys().filter(|id| !sub.contains(*id)).cloned().collect()
-            }
+            Query::Not(q) => difference(&self.all_docs(), &self.exec(q)),
             Query::Keyword { field, word } => {
-                let mut acc = BTreeSet::new();
-                for (path, per_token) in &self.tokens {
-                    let field_ok = field.as_deref().is_none_or(|f| field_matches(path, f));
-                    if field_ok {
-                        if let Some(ids) = per_token.get(word) {
-                            acc.extend(ids.iter().cloned());
-                        }
+                let Some(t) = self.terms.get(word) else { return Vec::new() };
+                match field {
+                    None => {
+                        let lists: Vec<&[u32]> =
+                            self.tokens.iter().filter_map(|m| m.get(&t)).map(Vec::as_slice).collect();
+                        union_k(&lists)
                     }
+                    Some(f) => self.union_postings(&self.tokens, self.resolve_reference(f), t),
                 }
-                acc
             }
             Query::Match { field, pattern } => match pattern {
                 ValuePattern::Exact(value) => {
-                    let mut acc = BTreeSet::new();
-                    for (path, per_value) in &self.exact {
-                        if field_matches(path, field) {
-                            if let Some(ids) = per_value.get(value) {
-                                acc.extend(ids.iter().cloned());
-                            }
-                        }
-                    }
-                    acc
+                    let Some(v) = self.terms.get(value) else { return Vec::new() };
+                    self.union_postings(&self.exact, self.resolve_reference(field), v)
                 }
-                _ => self
-                    .stored
-                    .iter()
-                    .filter(|(_, fields)| {
-                        fields
-                            .iter()
-                            .filter(|(path, _)| field_matches(path, field))
-                            .any(|(_, value)| pattern.matches(value))
-                    })
-                    .map(|(id, _)| id.clone())
-                    .collect(),
+                _ => {
+                    let path_syms = self.resolve_reference(field);
+                    if path_syms.is_empty() {
+                        return Vec::new();
+                    }
+                    self.docs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| {
+                            e.as_ref().is_some_and(|e| {
+                                e.path_syms.iter().zip(&e.norms).any(|(p, norm)| {
+                                    path_syms.contains(p) && pattern.matches_normalized(norm)
+                                })
+                            })
+                        })
+                        .map(|(i, _)| i as u32)
+                        .collect()
+                }
             },
         }
     }
 
     /// Current size statistics.
     pub fn stats(&self) -> IndexStats {
-        let token_postings: usize =
-            self.tokens.values().flat_map(|m| m.values()).map(BTreeSet::len).sum();
-        let exact_postings: usize =
-            self.exact.values().flat_map(|m| m.values()).map(BTreeSet::len).sum();
-        let key_bytes: usize = self
-            .tokens
-            .iter()
-            .map(|(f, m)| f.len() + m.keys().map(String::len).sum::<usize>())
-            .sum::<usize>()
-            + self
-                .exact
-                .iter()
-                .map(|(f, m)| f.len() + m.keys().map(String::len).sum::<usize>())
-                .sum::<usize>();
-        let mut fields: BTreeSet<&str> = BTreeSet::new();
-        fields.extend(self.tokens.keys().map(String::as_str));
-        fields.extend(self.exact.keys().map(String::as_str));
+        let token_postings: usize = self.tokens.iter().flat_map(HashMap::values).map(Vec::len).sum();
+        let exact_postings: usize = self.exact.iter().flat_map(HashMap::values).map(Vec::len).sum();
+        let lists: usize =
+            self.tokens.iter().map(HashMap::len).sum::<usize>() + self.exact.iter().map(HashMap::len).sum::<usize>();
+        let fields = (0..self.paths.len())
+            .filter(|&p| !self.tokens[p].is_empty() || !self.exact[p].is_empty())
+            .count();
         IndexStats {
-            objects: self.stored.len(),
-            fields: fields.len(),
+            objects: self.doc_ids.len(),
+            fields,
             token_postings,
             exact_postings,
-            // ids are 40 hex chars ≈ 40 bytes of key material per posting
-            approx_bytes: key_bytes + (token_postings + exact_postings) * 40,
+            approx_bytes: self.paths.bytes()
+                + self.terms.bytes()
+                + 4 * (token_postings + exact_postings)
+                + 4 * lists
+                + 40 * self.doc_ids.len(),
         }
     }
+}
+
+/// Bulk-mode posting: appends without re-sorting, recording the list as
+/// dirty (to be sorted + deduplicated at batch commit) only when the
+/// append actually lands out of order — with ascending doc-id allocation
+/// that is rare, so the dirty set stays small.
+fn bulk_post(list: &mut Vec<u32>, doc: u32, key: (bool, u32, u32), dirty: &mut HashSet<(bool, u32, u32)>) {
+    match list.last() {
+        Some(&tail) if tail == doc => {}
+        Some(&tail) if tail > doc => {
+            list.push(doc);
+            dirty.insert(key);
+        }
+        _ => list.push(doc),
+    }
+}
+
+/// Inserts `doc` into a sorted posting list, keeping it sorted and
+/// duplicate-free. Appends in O(1) in the common (ascending doc-id) case.
+fn post(list: &mut Vec<u32>, doc: u32) {
+    match list.last() {
+        Some(&tail) if tail < doc => list.push(doc),
+        Some(&tail) if tail == doc => {}
+        None => list.push(doc),
+        _ => {
+            if let Err(pos) = list.binary_search(&doc) {
+                list.insert(pos, doc);
+            }
+        }
+    }
+}
+
+/// Removes `doc` from the posting list under `term`, dropping the map
+/// entry when the list empties.
+fn unpost(map: &mut HashMap<u32, Vec<u32>>, term: u32, doc: u32) {
+    if let Some(list) = map.get_mut(&term) {
+        if let Ok(pos) = list.binary_search(&doc) {
+            list.remove(pos);
+        }
+        if list.is_empty() {
+            map.remove(&term);
+        }
+    }
+}
+
+/// First index `i >= from` with `list[i] >= target`, found by exponential
+/// probing followed by binary search on the bracketed run.
+fn gallop(list: &[u32], target: u32, from: usize) -> usize {
+    if from >= list.len() || list[from] >= target {
+        return from;
+    }
+    // invariant: list[lo] < target
+    let mut lo = from;
+    let mut step = 1;
+    loop {
+        let hi = lo + step;
+        if hi >= list.len() || list[hi] >= target {
+            let end = hi.min(list.len());
+            return lo + 1 + list[lo + 1..end].partition_point(|&v| v < target);
+        }
+        lo = hi;
+        step *= 2;
+    }
+}
+
+/// Intersection of two sorted lists: iterate the smaller, gallop the
+/// larger — O(s · log(l/s)) instead of O(s + l).
+fn intersect_gallop(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::new();
+    let mut pos = 0;
+    for &x in small {
+        pos = gallop(large, x, pos);
+        if pos == large.len() {
+            break;
+        }
+        if large[pos] == x {
+            out.push(x);
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// K-way merge of sorted lists into one sorted, duplicate-free list.
+fn union_k(lists: &[&[u32]]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        _ => {
+            let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::with_capacity(lists.len());
+            let mut pos = vec![0usize; lists.len()];
+            for (i, l) in lists.iter().enumerate() {
+                if let Some(&first) = l.first() {
+                    heap.push(Reverse((first, i)));
+                }
+            }
+            let mut out = Vec::new();
+            while let Some(Reverse((v, i))) = heap.pop() {
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+                pos[i] += 1;
+                if let Some(&next) = lists[i].get(pos[i]) {
+                    heap.push(Reverse((next, i)));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Sorted-list difference `all \ sub` (two-pointer).
+fn difference(all: &[u32], sub: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(all.len().saturating_sub(sub.len()));
+    let mut j = 0;
+    for &x in all {
+        while j < sub.len() && sub[j] < x {
+            j += 1;
+        }
+        if j == sub.len() || sub[j] != x {
+            out.push(x);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -344,5 +667,90 @@ mod tests {
                 .collect();
             assert_eq!(via_index, via_scan, "disagreement on {q}");
         }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let fields = |n: &str, c: &str| {
+            vec![
+                ("pattern/name".to_string(), n.to_string()),
+                ("pattern/category".to_string(), c.to_string()),
+            ]
+        };
+        let items = vec![
+            (id(1), fields("Observer", "behavioral")),
+            (id(2), fields("Abstract Factory", "creational")),
+            (id(1), fields("Mediator", "behavioral")), // duplicate id: last wins
+            (id(3), fields("Factory Method", "creational")),
+        ];
+        let mut batched = MetadataIndex::new();
+        batched.insert_batch(items.clone());
+        let mut sequential = MetadataIndex::new();
+        for (rid, f) in items {
+            sequential.insert(rid, f);
+        }
+        assert_eq!(batched.len(), 3);
+        for q in [
+            Query::any_keyword("factory"),
+            Query::eq("category", "behavioral"),
+            Query::keyword("name", "mediator"),
+            Query::All,
+        ] {
+            assert_eq!(batched.execute(&q), sequential.execute(&q), "on {q}");
+        }
+        let (b, s) = (batched.stats(), sequential.stats());
+        assert_eq!(b.token_postings, s.token_postings);
+        assert_eq!(b.exact_postings, s.exact_postings);
+        // observer postings were replaced by mediator's within the batch
+        assert!(batched.execute(&Query::keyword("name", "observer")).is_empty());
+    }
+
+    #[test]
+    fn doc_ids_are_recycled_after_remove() {
+        let mut ix = MetadataIndex::new();
+        for n in 0..6u8 {
+            ix.insert(id(n), vec![("o/name".into(), format!("thing{n}"))]);
+        }
+        for n in 0..6u8 {
+            ix.remove(&id(n));
+        }
+        assert!(ix.is_empty());
+        let s = ix.stats();
+        assert_eq!((s.objects, s.token_postings, s.exact_postings), (0, 0, 0));
+        // re-inserting reuses freed slots rather than growing the table
+        for n in 0..6u8 {
+            ix.insert(id(n), vec![("o/name".into(), format!("item{n}"))]);
+        }
+        assert_eq!(ix.docs.len(), 6, "slots are recycled, not appended");
+        assert_eq!(ix.execute(&Query::keyword("name", "item3")), BTreeSet::from([id(3)]));
+    }
+
+    #[test]
+    fn multi_segment_reference_resolves_all_suffix_paths() {
+        let mut ix = MetadataIndex::new();
+        ix.insert(id(1), vec![("a/b/c".into(), "deep".into())]);
+        ix.insert(id(2), vec![("b/c".into(), "shallow".into())]);
+        ix.insert(id(3), vec![("x/c".into(), "other".into())]);
+        // "b/c" matches both the exact path and the /-aligned suffix
+        let hits = ix.execute(&Query::Match {
+            field: "b/c".into(),
+            pattern: ValuePattern::Present,
+        });
+        assert_eq!(hits, BTreeSet::from([id(1), id(2)]));
+        // the bare leaf still matches everything ending in /c
+        let hits = ix.execute(&Query::Match { field: "c".into(), pattern: ValuePattern::Present });
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn merge_helpers_hold_their_invariants() {
+        assert_eq!(intersect_gallop(&[1, 3, 5, 7], &[2, 3, 4, 5, 6, 8, 9, 11]), vec![3, 5]);
+        assert_eq!(intersect_gallop(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(union_k(&[&[1, 4, 9], &[2, 4, 10], &[4, 5]]), vec![1, 2, 4, 5, 9, 10]);
+        assert_eq!(union_k(&[]), Vec::<u32>::new());
+        assert_eq!(difference(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(gallop(&[1, 3, 5, 7, 9], 6, 0), 3);
+        assert_eq!(gallop(&[1, 3, 5, 7, 9], 100, 2), 5);
+        assert_eq!(gallop(&[1, 3, 5], 0, 0), 0);
     }
 }

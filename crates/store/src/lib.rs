@@ -43,4 +43,4 @@ pub use error::StoreError;
 pub use index::{IndexStats, MetadataIndex};
 pub use query::{field_matches, Query, ValuePattern};
 pub use repository::{Repository, StoredObject};
-pub use tokenizer::{normalize, tokenize, tokenize_with, STOPWORDS};
+pub use tokenizer::{is_normalized, normalize, tokenize, tokenize_with, STOPWORDS};

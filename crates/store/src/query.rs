@@ -39,9 +39,20 @@ impl ValuePattern {
         }
     }
 
-    /// Does the (raw) value match?
+    /// Does the (raw) value match? Values already in normalized form are
+    /// compared in place; only denormalized input pays an allocation.
     pub fn matches(&self, value: &str) -> bool {
-        let v = normalize(value);
+        if matches!(self, ValuePattern::Present) || crate::tokenizer::is_normalized(value) {
+            self.matches_normalized(value)
+        } else {
+            self.matches_normalized(&normalize(value))
+        }
+    }
+
+    /// Does an already-[`normalize`]d value match? This is the zero-
+    /// allocation comparison the index scan fallback uses against its
+    /// stored normalized values.
+    pub fn matches_normalized(&self, v: &str) -> bool {
         match self {
             ValuePattern::Exact(p) => v == *p,
             ValuePattern::Prefix(p) => v.starts_with(p.as_str()),
@@ -150,11 +161,14 @@ impl Query {
 }
 
 /// Does a stored field `path` (e.g. `pattern/name`) satisfy a query field
-/// reference (`pattern/name` or the bare leaf `name`)?
+/// reference? A reference matches its own full path and any path for which
+/// it is a `/`-aligned suffix: `name` and `b/name` both match `a/b/name`.
+/// Allocation-free — this runs once per stored field on every scan.
 pub fn field_matches(path: &str, reference: &str) -> bool {
-    path == reference
-        || path.rsplit('/').next() == Some(reference)
-        || path.ends_with(&format!("/{reference}"))
+    path.len() >= reference.len()
+        && path.ends_with(reference)
+        && (path.len() == reference.len()
+            || path.as_bytes()[path.len() - reference.len() - 1] == b'/')
 }
 
 impl fmt::Display for Query {
@@ -253,5 +267,43 @@ mod tests {
     #[test]
     fn all_matches_everything() {
         assert!(Query::All.matches_fields(&[]));
+    }
+
+    #[test]
+    fn field_reference_suffix_semantics() {
+        // exact path and bare leaf
+        assert!(field_matches("a/b/c", "a/b/c"));
+        assert!(field_matches("a/b/c", "c"));
+        // a multi-segment reference matches as a /-aligned suffix
+        assert!(field_matches("a/b/c", "b/c"));
+        // but never mid-segment
+        assert!(!field_matches("a/xb/c", "b/c"));
+        assert!(!field_matches("a/b/c", "b"));
+        assert!(!field_matches("a/b/cc", "c"));
+        // a longer reference than the path never matches
+        assert!(!field_matches("b/c", "a/b/c"));
+        // degenerate references keep the historical semantics
+        assert!(field_matches("a/", ""));
+        assert!(!field_matches("a", ""));
+    }
+
+    #[test]
+    fn matches_normalized_agrees_with_matches() {
+        let patterns = [
+            ValuePattern::Exact("abstract factory".into()),
+            ValuePattern::Prefix("abstract".into()),
+            ValuePattern::Suffix("factory".into()),
+            ValuePattern::Contains("act".into()),
+            ValuePattern::Present,
+        ];
+        for p in &patterns {
+            for value in ["Abstract   Factory", "abstract factory", "other"] {
+                assert_eq!(
+                    p.matches(value),
+                    p.matches_normalized(&crate::tokenizer::normalize(value)),
+                    "{p} on {value:?}"
+                );
+            }
+        }
     }
 }

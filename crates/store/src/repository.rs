@@ -136,6 +136,44 @@ impl Repository {
         id
     }
 
+    /// Bulk-inserts parsed documents, extracting and indexing the given
+    /// field paths. The metadata index defers posting-list merging across
+    /// the whole load (see [`MetadataIndex::insert_batch`]), which is the
+    /// fast path for loading large corpora. Returns the content-derived
+    /// ids in input order.
+    pub fn insert_batch<I>(
+        &mut self,
+        community: &str,
+        docs: I,
+        index_paths: &[String],
+    ) -> Vec<ResourceId>
+    where
+        I: IntoIterator<Item = Document>,
+    {
+        type Prepared = (ResourceId, Vec<(String, String)>, String, Document);
+        let prepared: Vec<Prepared> = docs
+            .into_iter()
+            .map(|doc| {
+                let fields = Self::extract_fields(&doc, index_paths);
+                let xml = doc.to_xml_string();
+                let id = ResourceId::for_object(community, &xml);
+                (id, fields, xml, doc)
+            })
+            .collect();
+        self.index
+            .insert_batch(prepared.iter().map(|(id, fields, _, _)| (id.clone(), fields.clone())));
+        let mut ids = Vec::with_capacity(prepared.len());
+        for (id, fields, xml, doc) in prepared {
+            ids.push(id.clone());
+            self.by_community.entry(community.to_string()).or_default().insert(id.clone());
+            self.objects.insert(
+                id.clone(),
+                StoredObject { id, community: community.to_string(), xml, fields, doc },
+            );
+        }
+        ids
+    }
+
     /// Fetches an object by id.
     pub fn get(&self, id: &ResourceId) -> Option<&StoredObject> {
         self.objects.get(id)
@@ -421,6 +459,33 @@ mod tests {
         assert!(r.search(None, &Query::any_keyword("observer")).is_empty());
         assert_eq!(r.ids_in("patterns").len(), 1);
         assert!(r.remove(&id).is_none());
+    }
+
+    #[test]
+    fn insert_batch_agrees_with_sequential_insert() {
+        let docs: Vec<Document> =
+            [OBSERVER, FACTORY].iter().map(|x| Document::parse(x).unwrap()).collect();
+        let mut batched = Repository::new();
+        let ids = batched.insert_batch("patterns", docs.clone(), &paths());
+        let mut sequential = Repository::new();
+        let seq_ids: Vec<_> =
+            docs.into_iter().map(|d| sequential.insert_doc("patterns", d, &paths())).collect();
+        assert_eq!(ids, seq_ids);
+        assert_eq!(batched.len(), 2);
+        for q in [
+            Query::any_keyword("factory"),
+            Query::eq("category", "behavioral"),
+            Query::and([Query::eq("category", "creational"), Query::any_keyword("families")]),
+        ] {
+            let b: Vec<_> = batched.search(None, &q).iter().map(|o| o.id.clone()).collect();
+            let s: Vec<_> = sequential.search(None, &q).iter().map(|o| o.id.clone()).collect();
+            assert_eq!(b, s, "on {q}");
+        }
+        let (bs, ss) = (batched.index_stats(), sequential.index_stats());
+        assert_eq!(bs, ss);
+        // batch-loaded objects can be removed and searched like any other
+        batched.remove(&ids[0]);
+        assert!(batched.search(None, &Query::any_keyword("observer")).is_empty());
     }
 
     #[test]

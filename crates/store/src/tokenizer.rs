@@ -27,10 +27,55 @@ pub fn tokenize_with(text: &str, keep_stopwords: bool) -> Vec<String> {
         .collect()
 }
 
+/// Visits each indexable token of `text` (same token stream as
+/// [`tokenize`], stopwords dropped) without allocating a `String` per
+/// token: already-lowercase ASCII tokens are passed through as slices of
+/// `text`, and only mixed-case / non-ASCII tokens are lowercased into a
+/// single reused buffer. This is the indexing/removal hot path.
+pub(crate) fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        if raw.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()) {
+            if !STOPWORDS.contains(&raw) {
+                f(raw);
+            }
+        } else {
+            // same lowercasing as `tokenize` (str::to_lowercase, which
+            // handles e.g. final sigma) — rare path, one allocation
+            let lowered = raw.to_lowercase();
+            if !STOPWORDS.contains(&lowered.as_str()) {
+                f(&lowered);
+            }
+        }
+    }
+}
+
 /// Normalizes a value for exact-match indexing (lowercased, whitespace
 /// collapsed).
 pub fn normalize(value: &str) -> String {
     value.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+/// `true` when `normalize(s) == s`, checked without allocating. Lets the
+/// comparison hot paths skip re-normalizing values that are already in
+/// canonical form (everything the index stores, every compiled pattern).
+pub fn is_normalized(s: &str) -> bool {
+    let mut prev_space = true; // rejects a leading space and double spaces
+    for c in s.chars() {
+        if c == ' ' {
+            if prev_space {
+                return false;
+            }
+            prev_space = true;
+        } else if c.is_whitespace() || !c.to_lowercase().eq(std::iter::once(c)) {
+            return false;
+        } else {
+            prev_space = false;
+        }
+    }
+    s.is_empty() || !prev_space // rejects a trailing space
 }
 
 #[cfg(test)]
@@ -70,5 +115,32 @@ mod tests {
     #[test]
     fn unicode_tokens_survive() {
         assert_eq!(tokenize("Queensrÿche déjà-vu"), vec!["queensrÿche", "déjà", "vu"]);
+    }
+
+    #[test]
+    fn for_each_token_agrees_with_tokenize() {
+        for text in [
+            "The Observer pattern, by GoF!",
+            "Abstract-Factory (GoF)",
+            "track 7 of 12",
+            "Queensrÿche déjà-vu",
+            "ΟΔΟΣ uphill",
+            "",
+            "... --- !!!",
+        ] {
+            let mut via_visitor = Vec::new();
+            for_each_token(text, |t| via_visitor.push(t.to_string()));
+            assert_eq!(via_visitor, tokenize(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn is_normalized_agrees_with_normalize() {
+        for s in [
+            "", "abstract factory", "Abstract Factory", " leading", "trailing ", "two  spaces",
+            "tab\there", "ǅungla", "déjà vu", "İstanbul", "a", " ", "x y z",
+        ] {
+            assert_eq!(is_normalized(s), normalize(s) == s, "{s:?}");
+        }
     }
 }

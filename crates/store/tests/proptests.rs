@@ -129,4 +129,104 @@ proptest! {
     fn cmip_parser_never_panics(s in "\\PC{0,60}") {
         let _ = parse_cmip(&s);
     }
+
+    /// Interleaved insert / remove / re-insert (the targeted-removal
+    /// rewrite's safety net): after every operation the index agrees with
+    /// a linear `matches_fields` scan, and removing everything returns
+    /// the posting counts to the empty baseline.
+    #[test]
+    fn remove_interleaving_keeps_index_consistent(
+        objects in prop::collection::vec(object_fields(), 1..10),
+        ops in prop::collection::vec((0u8..3, 0usize..10), 1..25),
+        query in query_strategy(),
+    ) {
+        let mut ix = MetadataIndex::new();
+        type Slot = (ResourceId, Option<Vec<(String, String)>>);
+        let mut reference: Vec<Slot> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (ResourceId::for_bytes(&[i as u8]), Some(f.clone())))
+            .collect();
+        for (i, fields) in objects.iter().enumerate() {
+            ix.insert(reference[i].0.clone(), fields.clone());
+        }
+        let baseline = {
+            let s = ix.stats();
+            (s.token_postings, s.exact_postings)
+        };
+        for (op, slot) in ops {
+            let slot = slot % reference.len();
+            let (id, fields) = (reference[slot].0.clone(), objects[slot].clone());
+            match op {
+                0 => {
+                    ix.remove(&id);
+                    reference[slot].1 = None;
+                }
+                1 => {
+                    ix.insert(id.clone(), fields.clone());
+                    reference[slot].1 = Some(fields);
+                }
+                _ => {
+                    // re-insert with mutated fields, then restore
+                    let mut mutated = fields.clone();
+                    mutated.push(("obj/extra".to_string(), "mutant".to_string()));
+                    ix.insert(id.clone(), mutated);
+                    ix.insert(id.clone(), fields.clone());
+                    reference[slot].1 = Some(fields);
+                }
+            }
+            let via_index = ix.execute(&query);
+            let via_scan: BTreeSet<ResourceId> = reference
+                .iter()
+                .filter(|(_, f)| f.as_ref().is_some_and(|f| query.matches_fields(f)))
+                .map(|(id, _)| id.clone())
+                .collect();
+            prop_assert_eq!(via_index, via_scan, "after op {} on slot {}: {}", op, slot, &query);
+        }
+        // restore the original corpus: postings must return to baseline
+        for (i, fields) in objects.iter().enumerate() {
+            ix.insert(reference[i].0.clone(), fields.clone());
+        }
+        let s = ix.stats();
+        prop_assert_eq!((s.token_postings, s.exact_postings), baseline);
+        prop_assert_eq!(s.objects, objects.len());
+        // and removing everything empties every posting list
+        for (id, _) in &reference {
+            ix.remove(id);
+        }
+        let s = ix.stats();
+        prop_assert_eq!((s.objects, s.token_postings, s.exact_postings), (0, 0, 0));
+        prop_assert!(ix.is_empty());
+    }
+
+    /// `insert_batch` is observationally identical to sequential inserts
+    /// for any corpus (including duplicate ids within the batch).
+    #[test]
+    fn batch_insert_equals_sequential(
+        objects in prop::collection::vec(object_fields(), 1..10),
+        dup in 0u8..2,
+        query in query_strategy(),
+    ) {
+        let mut items: Vec<(ResourceId, Vec<(String, String)>)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (ResourceId::for_bytes(&[i as u8]), f.clone()))
+            .collect();
+        if dup == 1 {
+            // repeat the first id with the last object's fields: last wins
+            let fields = objects.last().unwrap().clone();
+            items.push((items[0].0.clone(), fields));
+        }
+        let mut batched = MetadataIndex::new();
+        batched.insert_batch(items.clone());
+        let mut sequential = MetadataIndex::new();
+        for (id, fields) in items {
+            sequential.insert(id, fields);
+        }
+        prop_assert_eq!(batched.execute(&query), sequential.execute(&query), "{}", &query);
+        let (b, s) = (batched.stats(), sequential.stats());
+        prop_assert_eq!(b.token_postings, s.token_postings);
+        prop_assert_eq!(b.exact_postings, s.exact_postings);
+        prop_assert_eq!(b.objects, s.objects);
+    }
 }

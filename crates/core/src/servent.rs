@@ -12,7 +12,9 @@ use crate::payload::PayloadPlane;
 use crate::root::ROOT_COMMUNITY_ID;
 use crate::stylesheets;
 use std::collections::HashMap;
-use up2p_net::{PeerId, PeerNetwork, ResourceRecord, RetrieveOutcome, SearchHit, SearchOutcome};
+use up2p_net::{
+    PeerId, PeerNetwork, ResourceRecord, RetrieveOutcome, SearchHit, SearchOutcome, SharedFields,
+};
 use up2p_store::{Query, Repository};
 
 /// A U-P2P peer: local repository, joined communities, and the paper's
@@ -138,6 +140,11 @@ impl Servent {
     /// Stores an object locally and announces it on the network
     /// (publish ≈ the paper's create primitive reaching the P2P layer).
     ///
+    /// The extracted metadata is allocated once here and then shared by
+    /// reference: the local repository, its index, the network record
+    /// uploaded to index nodes and every search hit other peers receive
+    /// all hold the same allocation.
+    ///
     /// # Errors
     ///
     /// [`CoreError::UnknownCommunity`] when the servent is not a member.
@@ -148,11 +155,11 @@ impl Servent {
         object: &SharedObject,
     ) -> Result<String, CoreError> {
         let community = self.community_or_err(&object.community_id)?;
-        let fields = self.index_fields(community, object)?;
+        let fields: SharedFields = self.index_fields(community, object)?.into();
         self.repository.insert_with_fields(
             &object.community_id,
             object.doc.clone(),
-            fields.clone(),
+            SharedFields::clone(&fields),
         );
         plane.put(object);
         net.publish(

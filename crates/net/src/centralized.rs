@@ -5,21 +5,23 @@
 //! request/response round trip; retrieve is a direct connection to the
 //! provider learned from the hit. The server answers only with records
 //! whose provider is currently online (Napster dropped a user's records
-//! with their session).
+//! with their session). The server's records live in an [`IndexNode`],
+//! so query evaluation is a posting-list lookup, not a scan over every
+//! stored record.
 
+use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, Time};
 use crate::peer::PeerId;
-use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::traits::PeerNetwork;
-use std::collections::{BTreeMap, BTreeSet};
 use up2p_store::Query;
 
 /// The centralized (Napster) substrate.
 pub struct CentralizedNetwork {
     alive: Vec<bool>,
-    /// key → (record, providers)
-    server: BTreeMap<String, (ResourceRecord, BTreeSet<PeerId>)>,
+    /// The server's indexed record table.
+    server: IndexNode,
     latency: Box<dyn LatencyModel + Send>,
     stats: NetStats,
 }
@@ -39,7 +41,7 @@ impl CentralizedNetwork {
     pub fn new(n: usize, latency: Box<dyn LatencyModel + Send>) -> Self {
         CentralizedNetwork {
             alive: vec![true; n],
-            server: BTreeMap::new(),
+            server: IndexNode::new(),
             latency,
             stats: NetStats::new(),
         }
@@ -81,22 +83,13 @@ impl PeerNetwork for CentralizedNetwork {
         if !self.is_alive(provider) {
             return;
         }
-        self.stats.sent("Publish");
-        self.server
-            .entry(record.key.clone())
-            .or_insert_with(|| (record, BTreeSet::new()))
-            .1
-            .insert(provider);
+        self.stats.sent(MsgKind::Publish);
+        self.server.insert(provider, &record);
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
-        self.stats.sent("Unpublish");
-        if let Some((_, providers)) = self.server.get_mut(key) {
-            providers.remove(&provider);
-            if providers.is_empty() {
-                self.server.remove(key);
-            }
-        }
+        self.stats.sent(MsgKind::Unpublish);
+        self.server.remove(provider, key);
     }
 
     fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
@@ -106,29 +99,26 @@ impl PeerNetwork for CentralizedNetwork {
             return outcome;
         }
         // one request up, one response down
-        self.stats.sent("Query");
-        self.stats.sent("QueryHit");
+        self.stats.sent(MsgKind::Query);
+        self.stats.sent(MsgKind::QueryHit);
         outcome.messages = 2;
         outcome.latency = self.rtt(origin, SERVER);
-        let alive = self.alive.clone();
-        for (record, providers) in self.server.values() {
-            if record.community != community {
-                continue;
-            }
-            if !query.matches_fields(&record.fields) {
-                continue;
-            }
-            for &p in providers {
-                if alive.get(p.index()).copied().unwrap_or(false) {
-                    outcome.hits.push(SearchHit {
-                        key: record.key.clone(),
-                        provider: p,
-                        fields: record.fields.clone(),
-                        hops: 1,
-                    });
-                    self.stats.hit(1);
-                }
-            }
+        let alive = &self.alive;
+        self.server.search(
+            community,
+            query,
+            |p| alive.get(p.index()).copied().unwrap_or(false),
+            |key, provider, fields| {
+                outcome.hits.push(SearchHit {
+                    key: key.to_string(),
+                    provider,
+                    fields: fields.clone(),
+                    hops: 1,
+                });
+            },
+        );
+        for _ in &outcome.hits {
+            self.stats.hit(1);
         }
         if !outcome.hits.is_empty() {
             self.stats.queries_with_hits += 1;
@@ -139,17 +129,13 @@ impl PeerNetwork for CentralizedNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
-        let has = self
-            .server
-            .get(key)
-            .map(|(_, providers)| providers.contains(&provider))
-            .unwrap_or(false);
+        let has = self.server.has_provider(key, provider);
         if !self.is_alive(origin) || !self.is_alive(provider) || !has {
-            self.stats.sent("Retrieve");
+            self.stats.sent(MsgKind::Retrieve);
             return RetrieveOutcome::Unavailable;
         }
-        self.stats.sent("Retrieve");
-        self.stats.sent("RetrieveOk");
+        self.stats.sent(MsgKind::Retrieve);
+        self.stats.sent(MsgKind::RetrieveOk);
         self.stats.retrieves_ok += 1;
         RetrieveOutcome::Fetched { provider, latency: self.rtt(origin, provider) }
     }
@@ -169,11 +155,7 @@ mod tests {
     use crate::latency::ConstantLatency;
 
     fn record(key: &str, community: &str, name: &str) -> ResourceRecord {
-        ResourceRecord {
-            key: key.to_string(),
-            community: community.to_string(),
-            fields: vec![("o/name".to_string(), name.to_string())],
-        }
+        ResourceRecord::new(key, community, vec![("o/name".to_string(), name.to_string())])
     }
 
     fn net(n: usize) -> CentralizedNetwork {
@@ -247,8 +229,8 @@ mod tests {
         assert_eq!(s.queries, 2);
         assert_eq!(s.queries_with_hits, 1);
         assert_eq!(s.query_success_rate(), 0.5);
-        assert_eq!(s.by_kind["Publish"], 1);
-        assert_eq!(s.by_kind["Query"], 2);
+        assert_eq!(s.count(MsgKind::Publish), 1);
+        assert_eq!(s.count(MsgKind::Query), 2);
     }
 
     #[test]
@@ -259,5 +241,17 @@ mod tests {
         let out = net.search(PeerId(0), "c", &Query::All);
         assert!(out.hits.is_empty());
         assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn hits_share_the_server_metadata() {
+        let mut net = net(2);
+        let rec = record("k1", "c", "x");
+        net.publish(PeerId(1), rec.clone());
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(
+            crate::message::SharedFields::ptr_eq(&out.hits[0].fields, &rec.fields),
+            "hit metadata is the published allocation"
+        );
     }
 }

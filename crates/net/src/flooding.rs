@@ -5,16 +5,19 @@
 //! Publishing is free (objects are shared from the provider's own store;
 //! no metadata leaves the peer), searching costs O(edges within the TTL
 //! horizon) messages — exactly the trade-off against Napster that
-//! experiment E6 measures.
+//! experiment E6 measures. Each peer's share table is an [`IndexNode`],
+//! so the per-node evaluation a query pays at every visited peer is a
+//! posting-list lookup, not a scan of the peer's records.
 
+use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
-use crate::message::{ResourceRecord, SearchHit, Time, DEFAULT_TTL};
+use crate::message::{ResourceRecord, SearchHit, SharedFields, Time, DEFAULT_TTL};
 use crate::peer::PeerId;
 use crate::sim::EventQueue;
-use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::topology::Topology;
 use crate::traits::PeerNetwork;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 use up2p_store::Query;
 
 /// Tuning knobs for the flooding substrate.
@@ -37,7 +40,9 @@ impl Default for FloodingConfig {
 pub struct FloodingNetwork {
     topology: Topology,
     alive: Vec<bool>,
-    shared: Vec<BTreeMap<String, ResourceRecord>>,
+    /// Per-peer local share table (each peer indexes only its own
+    /// records; the provider of every record at slot `i` is peer `i`).
+    shared: Vec<IndexNode>,
     latency: Box<dyn LatencyModel + Send>,
     config: FloodingConfig,
     stats: NetStats,
@@ -74,7 +79,7 @@ impl FloodingNetwork {
         FloodingNetwork {
             topology,
             alive: vec![true; n],
-            shared: vec![BTreeMap::new(); n],
+            shared: std::iter::repeat_with(IndexNode::new).take(n).collect(),
             latency,
             config,
             stats: NetStats::new(),
@@ -93,7 +98,17 @@ impl FloodingNetwork {
 
     /// Number of records shared by one peer.
     pub fn shared_count(&self, peer: PeerId) -> usize {
-        self.shared.get(peer.index()).map_or(0, BTreeMap::len)
+        self.shared.get(peer.index()).map_or(0, IndexNode::len)
+    }
+
+    /// Evaluates a query against one peer's share table, collecting
+    /// `(key, fields)` pairs (the provider is the peer itself).
+    fn local_matches(&self, peer: PeerId, community: &str, query: &Query) -> Vec<(String, SharedFields)> {
+        let mut matches = Vec::new();
+        self.shared[peer.index()].search(community, query, |_| true, |key, _, fields| {
+            matches.push((key.to_string(), fields.clone()));
+        });
+        matches
     }
 }
 
@@ -117,15 +132,16 @@ impl PeerNetwork for FloodingNetwork {
     }
 
     fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
-        // Gnutella shares from the local store: no message is sent.
-        if let Some(map) = self.shared.get_mut(provider.index()) {
-            map.insert(record.key.clone(), record);
+        // Gnutella shares from the local store: no message is sent, and
+        // republishing a key replaces the peer's own record (upsert).
+        if let Some(node) = self.shared.get_mut(provider.index()) {
+            node.upsert(provider, &record);
         }
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
-        if let Some(map) = self.shared.get_mut(provider.index()) {
-            map.remove(key);
+        if let Some(node) = self.shared.get_mut(provider.index()) {
+            node.remove(provider, key);
         }
     }
 
@@ -138,18 +154,11 @@ impl PeerNetwork for FloodingNetwork {
         let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
         // local results cost nothing (the servent consults its own
         // repository before the network)
-        for record in self.shared[origin.index()].values() {
-            if record.community == community && query.matches_fields(&record.fields) {
-                hit_seen.insert((record.key.clone(), origin));
-                outcome.hits.push(SearchHit {
-                    key: record.key.clone(),
-                    provider: origin,
-                    fields: record.fields.clone(),
-                    hops: 0,
-                });
-                self.stats.hit(0);
-                outcome.first_hit_latency = Some(0);
-            }
+        for (key, fields) in self.local_matches(origin, community, query) {
+            hit_seen.insert((key.clone(), origin));
+            outcome.hits.push(SearchHit { key, provider: origin, fields, hops: 0 });
+            self.stats.hit(0);
+            outcome.first_hit_latency = Some(0);
         }
 
         let mut queue: EventQueue<QueryEvent> = EventQueue::new();
@@ -158,7 +167,7 @@ impl PeerNetwork for FloodingNetwork {
         if self.config.ttl > 0 {
             let neighbors: Vec<PeerId> = self.topology.neighbors(origin).collect();
             for nb in neighbors {
-                self.stats.sent("Query");
+                self.stats.sent(MsgKind::Query);
                 outcome.messages += 1;
                 let at = self.latency.delay(origin, nb);
                 queue.push(at, QueryEvent { to: nb, path: vec![origin], ttl: self.config.ttl - 1 });
@@ -176,33 +185,24 @@ impl PeerNetwork for FloodingNetwork {
             if self.config.dedup && !seen.insert(ev.to) {
                 continue; // duplicate query arrival, dropped by GUID cache
             }
-            // evaluate against this peer's shared records
-            let matches: Vec<ResourceRecord> = self.shared[ev.to.index()]
-                .values()
-                .filter(|r| r.community == community && query.matches_fields(&r.fields))
-                .cloned()
-                .collect();
+            // evaluate against this peer's share-table index
+            let matches = self.local_matches(ev.to, community, query);
             if !matches.is_empty() {
                 // QueryHit routes back along the reverse path: one message
                 // per edge, arriving after the summed reverse delays
                 let mut back_latency: Time = 0;
                 let mut prev = ev.to;
                 for &node in ev.path.iter().rev() {
-                    self.stats.sent("QueryHit");
+                    self.stats.sent(MsgKind::QueryHit);
                     outcome.messages += 1;
                     back_latency += self.latency.delay(prev, node);
                     prev = node;
                 }
                 let arrival = t + back_latency;
                 let hops = ev.path.len() as u8;
-                for record in matches {
-                    if hit_seen.insert((record.key.clone(), ev.to)) {
-                        outcome.hits.push(SearchHit {
-                            key: record.key.clone(),
-                            provider: ev.to,
-                            fields: record.fields.clone(),
-                            hops,
-                        });
+                for (key, fields) in matches {
+                    if hit_seen.insert((key.clone(), ev.to)) {
+                        outcome.hits.push(SearchHit { key, provider: ev.to, fields, hops });
                         self.stats.hit(hops);
                         last_hit_at = last_hit_at.max(arrival);
                         outcome.first_hit_latency = Some(
@@ -219,7 +219,7 @@ impl PeerNetwork for FloodingNetwork {
                     if nb == sender {
                         continue;
                     }
-                    self.stats.sent("Query");
+                    self.stats.sent(MsgKind::Query);
                     outcome.messages += 1;
                     let at = t + self.latency.delay(ev.to, nb);
                     let mut path = ev.path.clone();
@@ -238,14 +238,14 @@ impl PeerNetwork for FloodingNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
-        self.stats.sent("Retrieve");
+        self.stats.sent(MsgKind::Retrieve);
         let available = self.is_alive(origin)
             && self.is_alive(provider)
-            && self.shared[provider.index()].contains_key(key);
+            && self.shared[provider.index()].has_provider(key, provider);
         if !available {
             return RetrieveOutcome::Unavailable;
         }
-        self.stats.sent("RetrieveOk");
+        self.stats.sent(MsgKind::RetrieveOk);
         self.stats.retrieves_ok += 1;
         let latency = self.latency.delay(origin, provider) + self.latency.delay(provider, origin);
         RetrieveOutcome::Fetched { provider, latency }
@@ -266,11 +266,7 @@ mod tests {
     use crate::latency::ConstantLatency;
 
     fn record(key: &str, name: &str) -> ResourceRecord {
-        ResourceRecord {
-            key: key.to_string(),
-            community: "c".to_string(),
-            fields: vec![("o/name".to_string(), name.to_string())],
-        }
+        ResourceRecord::new(key, "c", vec![("o/name".to_string(), name.to_string())])
     }
 
     fn line(n: usize) -> FloodingNetwork {
@@ -390,6 +386,20 @@ mod tests {
         net.unpublish(PeerId(1), "k");
         let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
         assert!(out.hits.is_empty());
+        assert_eq!(net.shared_count(PeerId(1)), 0);
+    }
+
+    #[test]
+    fn republish_updates_the_peers_own_record() {
+        // a peer's share table keeps last-publish-wins semantics: the
+        // same key republished with new metadata serves the new fields
+        let mut net = line(3);
+        net.publish(PeerId(1), record("k", "old name"));
+        net.publish(PeerId(1), record("k", "new name"));
+        assert_eq!(net.shared_count(PeerId(1)), 1);
+        assert!(net.search(PeerId(0), "c", &Query::any_keyword("old")).hits.is_empty());
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("new"));
+        assert_eq!(out.hits.len(), 1);
     }
 
     #[test]
@@ -397,11 +407,7 @@ mod tests {
         let mut net = line(3);
         net.publish(
             PeerId(1),
-            ResourceRecord {
-                key: "k".into(),
-                community: "other".into(),
-                fields: vec![("o/name".into(), "x".into())],
-            },
+            ResourceRecord::new("k", "other", vec![("o/name".to_string(), "x".to_string())]),
         );
         let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
         assert!(out.hits.is_empty());

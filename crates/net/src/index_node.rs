@@ -1,0 +1,322 @@
+//! The shared per-node metadata index every record-holding node uses.
+//!
+//! The paper's servent evaluates community-scoped queries at whichever
+//! node holds the records — the Napster server, each FastTrack
+//! super-peer, or every Gnutella peer's own share table. [`IndexNode`]
+//! is that evaluation engine: a community-partitioned wrapper over
+//! [`up2p_store::MetadataIndex`] that turns `search` into a posting-list
+//! lookup instead of an O(records) scan, and keeps exactly one shared
+//! metadata allocation per record (provider uploads and search hits are
+//! refcount bumps).
+//!
+//! Sub-indexes are created lazily, on the first record published into a
+//! community; provider liveness is applied to the candidate set the
+//! index produces, never to the full corpus.
+
+use crate::message::{ResourceRecord, SharedFields};
+use crate::peer::PeerId;
+use std::collections::{BTreeSet, HashMap};
+use up2p_store::{MetadataIndex, Query, ResourceId};
+
+/// One community's slice of an index node: the inverted metadata index
+/// plus the provider set per record.
+#[derive(Debug, Default)]
+struct CommunityIndex {
+    index: MetadataIndex,
+    /// Record key → peers currently advertising the record. `BTreeSet`
+    /// keeps per-record hit emission deterministic (ascending peer id,
+    /// as the pre-index scan produced).
+    providers: HashMap<ResourceId, BTreeSet<PeerId>>,
+}
+
+/// A community-partitioned metadata index held by one record-storing
+/// network node.
+///
+/// Semantics mirror the original linear share tables exactly (the
+/// equivalence is property-tested against `Query::matches_fields`):
+///
+/// * [`IndexNode::insert`] keeps the first record published under a key
+///   and only adds providers afterwards (the `or_insert` semantics the
+///   centralized server and super-peer tables had), while
+///   [`IndexNode::upsert`] replaces the stored record (the overwrite
+///   semantics a peer's own share table had),
+/// * a record disappears when its last provider withdraws,
+/// * `search` evaluates one community's sub-index and filters candidate
+///   records through a caller-supplied liveness predicate.
+#[derive(Debug, Default)]
+pub struct IndexNode {
+    /// Community name → slot in `communities` (sub-indexes are created
+    /// lazily on first publish).
+    names: HashMap<String, u32>,
+    communities: Vec<CommunityIndex>,
+    /// Record key → community slot, for community-blind removal and
+    /// provider checks.
+    by_key: HashMap<ResourceId, u32>,
+}
+
+impl IndexNode {
+    /// Creates an empty index node.
+    pub fn new() -> IndexNode {
+        IndexNode::default()
+    }
+
+    /// Number of distinct records currently indexed.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// `true` when no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Number of communities with at least one record ever published
+    /// (sub-indexes are lazy — this counts materialized ones).
+    pub fn community_count(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Registers `provider` for the record. The first publish of a key
+    /// indexes the record's fields (one refcount bump on the shared
+    /// metadata); subsequent publishes of the same key are provider-set
+    /// insertions only, regardless of the fields they carry — exactly
+    /// the first-record-wins semantics the linear tables had.
+    pub fn insert(&mut self, provider: PeerId, record: &ResourceRecord) {
+        if let Some(&slot) = self.by_key.get(record.key.as_str()) {
+            let community = &mut self.communities[slot as usize];
+            community
+                .providers
+                .get_mut(record.key.as_str())
+                .expect("keyed record has a provider set")
+                .insert(provider);
+            return;
+        }
+        let slot = match self.names.get(record.community.as_str()) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.communities.len() as u32;
+                self.names.insert(record.community.clone(), slot);
+                self.communities.push(CommunityIndex::default());
+                slot
+            }
+        };
+        let id = ResourceId::from_key(&record.key);
+        let community = &mut self.communities[slot as usize];
+        community.index.insert_shared(id.clone(), SharedFields::clone(&record.fields));
+        community.providers.insert(id.clone(), BTreeSet::from([provider]));
+        self.by_key.insert(id, slot);
+    }
+
+    /// Registers `provider` for the record, replacing the stored fields
+    /// (and community) when the key is already present — the
+    /// last-publish-wins semantics a peer's *own* share table has
+    /// (flooding and live peers overwrote their `BTreeMap` entry
+    /// wholesale). Providers accumulated under the old record are kept.
+    pub fn upsert(&mut self, provider: PeerId, record: &ResourceRecord) {
+        let previous = match self.by_key.get(record.key.as_str()) {
+            Some(&slot) => {
+                let community = &mut self.communities[slot as usize];
+                let (id, providers) = community
+                    .providers
+                    .remove_entry(record.key.as_str())
+                    .expect("keyed record has a provider set");
+                community.index.remove(&id);
+                self.by_key.remove(record.key.as_str());
+                Some(providers)
+            }
+            None => None,
+        };
+        self.insert(provider, record);
+        if let Some(old_providers) = previous {
+            let &slot = self.by_key.get(record.key.as_str()).expect("just inserted");
+            self.communities[slot as usize]
+                .providers
+                .get_mut(record.key.as_str())
+                .expect("just inserted")
+                .extend(old_providers);
+        }
+    }
+
+    /// Withdraws `provider`'s copy of the record. When the last provider
+    /// leaves, the record's postings are removed from the sub-index
+    /// (targeted replay — cost proportional to the record, not the
+    /// index).
+    pub fn remove(&mut self, provider: PeerId, key: &str) {
+        let Some(&slot) = self.by_key.get(key) else { return };
+        let community = &mut self.communities[slot as usize];
+        let Some(providers) = community.providers.get_mut(key) else { return };
+        providers.remove(&provider);
+        if providers.is_empty() {
+            let (id, _) = community
+                .providers
+                .remove_entry(key)
+                .expect("provider set was just accessed");
+            community.index.remove(&id);
+            self.by_key.remove(key);
+        }
+    }
+
+    /// Is `provider` currently advertising the record?
+    pub fn has_provider(&self, key: &str, provider: PeerId) -> bool {
+        self.by_key
+            .get(key)
+            .and_then(|&slot| self.communities[slot as usize].providers.get(key))
+            .is_some_and(|set| set.contains(&provider))
+    }
+
+    /// Number of providers advertising the record.
+    pub fn provider_count(&self, key: &str) -> usize {
+        self.by_key
+            .get(key)
+            .and_then(|&slot| self.communities[slot as usize].providers.get(key))
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Evaluates a community-scoped query against this node's records,
+    /// invoking `emit(key, provider, fields)` for every (record, live
+    /// provider) pair. `alive` filters the candidate set the index
+    /// produced — the full corpus is never scanned. Candidates arrive in
+    /// insertion order, providers in ascending peer id.
+    pub fn search<A, E>(&self, community: &str, query: &Query, alive: A, mut emit: E)
+    where
+        A: Fn(PeerId) -> bool,
+        E: FnMut(&str, PeerId, &SharedFields),
+    {
+        let Some(&slot) = self.names.get(community) else { return };
+        let sub = &self.communities[slot as usize];
+        sub.index.for_each_match(query, |id, fields| {
+            if let Some(providers) = sub.providers.get(id) {
+                for &p in providers {
+                    if alive(p) {
+                        emit(id.as_hex(), p, fields);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: &str, community: &str, name: &str) -> ResourceRecord {
+        ResourceRecord::new(key, community, vec![("o/name".to_string(), name.to_string())])
+    }
+
+    fn hits(node: &IndexNode, community: &str, query: &Query) -> Vec<(String, PeerId)> {
+        let mut out = Vec::new();
+        node.search(community, query, |_| true, |key, p, _| out.push((key.to_string(), p)));
+        out
+    }
+
+    #[test]
+    fn insert_search_remove_round_trip() {
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k1", "patterns", "Observer"));
+        node.insert(PeerId(2), &record("k2", "patterns", "Visitor"));
+        assert_eq!(node.len(), 2);
+        assert_eq!(
+            hits(&node, "patterns", &Query::any_keyword("observer")),
+            vec![("k1".to_string(), PeerId(1))]
+        );
+        node.remove(PeerId(1), "k1");
+        assert!(hits(&node, "patterns", &Query::any_keyword("observer")).is_empty());
+        assert_eq!(node.len(), 1);
+        // removing an absent key or provider is a no-op
+        node.remove(PeerId(9), "k2");
+        node.remove(PeerId(1), "missing");
+        assert_eq!(node.len(), 1);
+    }
+
+    #[test]
+    fn communities_partition_lazily() {
+        let mut node = IndexNode::new();
+        assert_eq!(node.community_count(), 0);
+        node.insert(PeerId(1), &record("k1", "patterns", "Observer"));
+        assert_eq!(node.community_count(), 1);
+        node.insert(PeerId(2), &record("k2", "songs", "Observer"));
+        assert_eq!(node.community_count(), 2);
+        assert_eq!(hits(&node, "patterns", &Query::any_keyword("observer")).len(), 1);
+        assert_eq!(hits(&node, "songs", &Query::any_keyword("observer")).len(), 1);
+        assert!(hits(&node, "absent", &Query::All).is_empty());
+    }
+
+    #[test]
+    fn replicas_share_one_record_and_leave_one_at_a_time() {
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k", "c", "x"));
+        node.insert(PeerId(3), &record("k", "c", "x"));
+        assert_eq!(node.len(), 1);
+        assert_eq!(node.provider_count("k"), 2);
+        assert_eq!(
+            hits(&node, "c", &Query::All),
+            vec![("k".to_string(), PeerId(1)), ("k".to_string(), PeerId(3))]
+        );
+        assert!(node.has_provider("k", PeerId(3)));
+        assert!(!node.has_provider("k", PeerId(2)));
+        node.remove(PeerId(1), "k");
+        assert_eq!(node.provider_count("k"), 1);
+        assert_eq!(node.len(), 1);
+        node.remove(PeerId(3), "k");
+        assert!(node.is_empty());
+    }
+
+    #[test]
+    fn liveness_filters_the_candidate_set() {
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k", "c", "x"));
+        node.insert(PeerId(2), &record("k", "c", "x"));
+        let out = {
+            let mut v = Vec::new();
+            node.search("c", &Query::any_keyword("x"), |p| p == PeerId(2), |_, p, _| v.push(p));
+            v
+        };
+        assert_eq!(out, vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn hits_share_the_published_metadata_allocation() {
+        let mut node = IndexNode::new();
+        let rec = record("k", "c", "x");
+        node.insert(PeerId(1), &rec);
+        let mut shared = false;
+        node.search("c", &Query::All, |_| true, |_, _, fields| {
+            shared = SharedFields::ptr_eq(fields, &rec.fields);
+        });
+        assert!(shared, "no metadata copy between publish and hit");
+    }
+
+    #[test]
+    fn upsert_replaces_the_stored_record() {
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k", "c", "original"));
+        node.insert(PeerId(2), &record("k", "c", "original"));
+        node.upsert(PeerId(1), &record("k", "c", "changed"));
+        assert_eq!(node.len(), 1);
+        assert!(hits(&node, "c", &Query::any_keyword("original")).is_empty());
+        // both providers survive the replacement
+        assert_eq!(
+            hits(&node, "c", &Query::any_keyword("changed")),
+            vec![("k".to_string(), PeerId(1)), ("k".to_string(), PeerId(2))]
+        );
+        // an upsert can also move the record to another community
+        node.upsert(PeerId(1), &record("k", "d", "moved"));
+        assert!(hits(&node, "c", &Query::All).is_empty());
+        assert_eq!(hits(&node, "d", &Query::any_keyword("moved")).len(), 2);
+        // and behaves as a plain insert for a fresh key
+        node.upsert(PeerId(3), &record("k2", "c", "fresh"));
+        assert_eq!(hits(&node, "c", &Query::any_keyword("fresh")), vec![("k2".to_string(), PeerId(3))]);
+    }
+
+    #[test]
+    fn first_record_wins_for_a_key() {
+        // matches the old BTreeMap or_insert semantics: a second publish
+        // of the same key only adds a provider, even with new fields
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k", "c", "original"));
+        node.insert(PeerId(2), &record("k", "c", "changed"));
+        assert_eq!(hits(&node, "c", &Query::any_keyword("original")).len(), 2);
+        assert!(hits(&node, "c", &Query::any_keyword("changed")).is_empty());
+    }
+}

@@ -77,6 +77,82 @@ impl LatencyModel for CoordinateLatency {
     }
 }
 
+/// Declarative latency-model choice for [`crate::NetConfig`].
+///
+/// Boxed [`LatencyModel`]s are stateful and not `Clone`, so configs carry
+/// this spec and build a fresh seeded model per substrate. The textual
+/// form (`schema_value`/`from_schema_value`) lets a community schema name
+/// its latency profile the way it names its `protocol`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencySpec {
+    /// Fixed per-link delay in microseconds: `constant:20000`.
+    Constant(Time),
+    /// Uniform delay in `[min, max)` microseconds: `uniform:5000..50000`.
+    Uniform(Time, Time),
+    /// Coordinate-based delay `base + distance · per_unit`:
+    /// `coordinate:5000+100000`.
+    Coordinate {
+        /// Base per-link cost in microseconds.
+        base: Time,
+        /// Cost per unit of coordinate distance (distance is in `[0,1]`).
+        per_unit: Time,
+    },
+}
+
+impl LatencySpec {
+    /// Builds a fresh model for an `n`-peer substrate.
+    pub fn build(self, n: usize, seed: u64) -> Box<dyn LatencyModel + Send> {
+        match self {
+            LatencySpec::Constant(us) => Box::new(ConstantLatency(us)),
+            LatencySpec::Uniform(min, max) => Box::new(UniformLatency::new(min, max, seed)),
+            LatencySpec::Coordinate { base, per_unit } => {
+                Box::new(CoordinateLatency::new(n, base, per_unit, seed))
+            }
+        }
+    }
+
+    /// Parses the textual form. Returns `None` for unknown kinds,
+    /// malformed numbers, or an empty `uniform` range.
+    ///
+    /// ```
+    /// use up2p_net::LatencySpec;
+    /// assert_eq!(
+    ///     LatencySpec::from_schema_value("constant:20000"),
+    ///     Some(LatencySpec::Constant(20_000)),
+    /// );
+    /// assert_eq!(LatencySpec::from_schema_value("dialup"), None);
+    /// ```
+    pub fn from_schema_value(v: &str) -> Option<LatencySpec> {
+        let (kind, rest) = v.split_once(':')?;
+        match kind {
+            "constant" => rest.parse().ok().map(LatencySpec::Constant),
+            "uniform" => {
+                let (min, max) = rest.split_once("..")?;
+                let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+                (min < max).then_some(LatencySpec::Uniform(min, max))
+            }
+            "coordinate" => {
+                let (base, per_unit) = rest.split_once('+')?;
+                Some(LatencySpec::Coordinate {
+                    base: base.parse().ok()?,
+                    per_unit: per_unit.parse().ok()?,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The textual form; round-trips through
+    /// [`LatencySpec::from_schema_value`].
+    pub fn schema_value(self) -> String {
+        match self {
+            LatencySpec::Constant(us) => format!("constant:{us}"),
+            LatencySpec::Uniform(min, max) => format!("uniform:{min}..{max}"),
+            LatencySpec::Coordinate { base, per_unit } => format!("coordinate:{base}+{per_unit}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +179,46 @@ mod tests {
     #[should_panic(expected = "empty latency range")]
     fn uniform_rejects_empty_range() {
         UniformLatency::new(100, 100, 1);
+    }
+
+    #[test]
+    fn latency_spec_round_trips_and_rejects_unknown_values() {
+        let specs = [
+            LatencySpec::Constant(20_000),
+            LatencySpec::Uniform(5_000, 50_000),
+            LatencySpec::Coordinate { base: 5_000, per_unit: 100_000 },
+        ];
+        for spec in specs {
+            let text = spec.schema_value();
+            assert_eq!(
+                LatencySpec::from_schema_value(&text),
+                Some(spec),
+                "{text} must round-trip"
+            );
+        }
+        for bad in [
+            "",
+            "constant",
+            "constant:",
+            "constant:fast",
+            "uniform:100",
+            "uniform:100..50",
+            "uniform:100..100",
+            "coordinate:5000",
+            "dialup:56000",
+        ] {
+            assert_eq!(LatencySpec::from_schema_value(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn latency_spec_builds_working_models() {
+        let mut m = LatencySpec::Constant(7_000).build(4, 1);
+        assert_eq!(m.delay(PeerId(0), PeerId(1)), 7_000);
+        let mut m = LatencySpec::Uniform(10, 100).build(4, 1);
+        assert!((10..100).contains(&m.delay(PeerId(0), PeerId(1))));
+        let mut m = LatencySpec::Coordinate { base: 500, per_unit: 1_000 }.build(4, 1);
+        assert!(m.delay(PeerId(0), PeerId(1)) >= 500);
     }
 
     #[test]

@@ -27,11 +27,11 @@
 //! let topo = Topology::small_world(64, 2, 0.2, 1);
 //! let mut net = FloodingNetwork::new(
 //!     topo, Box::new(ConstantLatency(20_000)), FloodingConfig::default());
-//! net.publish(PeerId(9), ResourceRecord {
-//!     key: "k1".into(),
-//!     community: "patterns".into(),
-//!     fields: vec![("pattern/name".into(), "Observer".into())],
-//! });
+//! net.publish(PeerId(9), ResourceRecord::new(
+//!     "k1",
+//!     "patterns",
+//!     vec![("pattern/name".to_string(), "Observer".to_string())],
+//! ));
 //! let out = net.search(PeerId(0), "patterns", &Query::any_keyword("observer"));
 //! assert_eq!(out.hits.len(), 1);
 //! ```
@@ -42,6 +42,7 @@
 mod centralized;
 pub mod churn;
 mod flooding;
+mod index_node;
 mod latency;
 mod live;
 mod message;
@@ -54,45 +55,152 @@ mod traits;
 
 pub use centralized::CentralizedNetwork;
 pub use flooding::{FloodingConfig, FloodingNetwork};
+pub use index_node::IndexNode;
 pub use live::LiveNetwork;
-pub use latency::{ConstantLatency, CoordinateLatency, LatencyModel, UniformLatency};
-pub use message::{Message, MessageKind, ResourceRecord, SearchHit, Time, DEFAULT_TTL};
+pub use latency::{ConstantLatency, CoordinateLatency, LatencyModel, LatencySpec, UniformLatency};
+pub use message::{Message, MessageKind, ResourceRecord, SearchHit, SharedFields, Time, DEFAULT_TTL};
 pub use peer::PeerId;
-pub use stats::{NetStats, RetrieveOutcome, SearchOutcome};
+pub use stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 pub use superpeer::{SuperPeerConfig, SuperPeerNetwork};
 pub use topology::Topology;
 pub use traits::{PeerNetwork, ProtocolKind};
 
-/// Builds a substrate of the given kind with sensible defaults for the
-/// experiments: `n` peers, seeded topology/latency, all peers online.
+/// Substrate construction parameters, previously hard-coded in
+/// [`build_network`]: latency model, flooding TTL / dedup, and super-peer
+/// sizing. [`build_network`] remains the thin all-defaults wrapper.
 ///
-/// * Napster: constant 20 ms links to the server.
-/// * Gnutella: small-world overlay (2k = 4 neighbors, β = 0.2), TTL 7.
-/// * FastTrack: ~`sqrt(n)` super-peers, TTL 4 on the super overlay.
-pub fn build_network(kind: ProtocolKind, n: usize, seed: u64) -> Box<dyn PeerNetwork + Send> {
+/// ```
+/// use up2p_net::{LatencySpec, NetConfig, PeerNetwork, ProtocolKind};
+///
+/// let config = NetConfig::new()
+///     .latency(LatencySpec::Uniform(5_000, 50_000))
+///     .ttl(5)
+///     .supers(16);
+/// let net = up2p_net::build_network_with(ProtocolKind::FastTrack, 256, 7, &config);
+/// assert_eq!(net.peer_count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Link latency model (all substrates).
+    pub latency: LatencySpec,
+    /// Flooding query TTL (Gnutella).
+    pub ttl: u8,
+    /// Duplicate suppression (Gnutella; `false` is the E6 ablation).
+    pub dedup: bool,
+    /// Super-peer count (FastTrack); `None` picks `ceil(sqrt(n))`.
+    pub supers: Option<usize>,
+    /// Each-side neighbor count of the super-peer overlay (FastTrack).
+    pub super_degree: usize,
+    /// TTL on the super-peer overlay (FastTrack).
+    pub super_ttl: u8,
+}
+
+impl Default for NetConfig {
+    /// The sizing [`build_network`] has always used: constant 20 ms
+    /// links, TTL 7 flooding with dedup, `sqrt(n)` super-peers at degree
+    /// 2 and super-overlay TTL 4.
+    fn default() -> Self {
+        NetConfig {
+            latency: LatencySpec::Constant(20_000),
+            ttl: DEFAULT_TTL,
+            dedup: true,
+            supers: None,
+            super_degree: 2,
+            super_ttl: 4,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration (builder entry point).
+    pub fn new() -> NetConfig {
+        NetConfig::default()
+    }
+
+    /// Sets the link latency model.
+    pub fn latency(mut self, spec: LatencySpec) -> NetConfig {
+        self.latency = spec;
+        self
+    }
+
+    /// Sets the flooding TTL.
+    pub fn ttl(mut self, ttl: u8) -> NetConfig {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Enables/disables flooding duplicate suppression.
+    pub fn dedup(mut self, dedup: bool) -> NetConfig {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Sets an explicit super-peer count.
+    pub fn supers(mut self, supers: usize) -> NetConfig {
+        self.supers = Some(supers);
+        self
+    }
+
+    /// Sets the super-peer overlay degree.
+    pub fn super_degree(mut self, degree: usize) -> NetConfig {
+        self.super_degree = degree;
+        self
+    }
+
+    /// Sets the TTL used on the super-peer overlay.
+    pub fn super_ttl(mut self, ttl: u8) -> NetConfig {
+        self.super_ttl = ttl;
+        self
+    }
+
+    /// The super-peer count an `n`-peer FastTrack substrate gets:
+    /// the explicit setting, else `ceil(sqrt(n))`, clamped to `1..=n`.
+    pub fn super_count(&self, n: usize) -> usize {
+        self.supers.unwrap_or_else(|| (n as f64).sqrt().ceil() as usize).clamp(1, n.max(1))
+    }
+}
+
+/// Builds a substrate of the given kind from an explicit configuration:
+/// `n` peers, seeded topology/latency, all peers online.
+pub fn build_network_with(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    config: &NetConfig,
+) -> Box<dyn PeerNetwork + Send> {
     match kind {
         ProtocolKind::Napster => {
-            Box::new(CentralizedNetwork::new(n, Box::new(ConstantLatency(20_000))))
+            Box::new(CentralizedNetwork::new(n, config.latency.build(n, seed)))
         }
         ProtocolKind::Gnutella => {
             let topo = Topology::small_world(n, 2, 0.2, seed);
             Box::new(FloodingNetwork::new(
                 topo,
-                Box::new(ConstantLatency(20_000)),
-                FloodingConfig::default(),
+                config.latency.build(n, seed),
+                FloodingConfig { ttl: config.ttl, dedup: config.dedup },
             ))
         }
-        ProtocolKind::FastTrack => {
-            let supers = (n as f64).sqrt().ceil() as usize;
-            let supers = supers.clamp(1, n);
-            Box::new(SuperPeerNetwork::new(
-                n,
-                SuperPeerConfig { supers, super_degree: 2, ttl: 4 },
-                Box::new(ConstantLatency(20_000)),
-                seed,
-            ))
-        }
+        ProtocolKind::FastTrack => Box::new(SuperPeerNetwork::new(
+            n,
+            SuperPeerConfig {
+                supers: config.super_count(n),
+                super_degree: config.super_degree,
+                ttl: config.super_ttl,
+            },
+            config.latency.build(n, seed),
+            seed,
+        )),
     }
+}
+
+/// Builds a substrate with the default [`NetConfig`] — the experiments'
+/// long-standing sizing:
+///
+/// * Napster: constant 20 ms links to the server.
+/// * Gnutella: small-world overlay (2k = 4 neighbors, β = 0.2), TTL 7.
+/// * FastTrack: ~`sqrt(n)` super-peers, TTL 4 on the super overlay.
+pub fn build_network(kind: ProtocolKind, n: usize, seed: u64) -> Box<dyn PeerNetwork + Send> {
+    build_network_with(kind, n, seed, &NetConfig::default())
 }
 
 #[cfg(test)]
@@ -108,11 +216,7 @@ mod tests {
             assert_eq!(net.protocol_name(), kind.schema_value());
             net.publish(
                 PeerId(3),
-                ResourceRecord {
-                    key: "k".into(),
-                    community: "c".into(),
-                    fields: vec![("o/name".into(), "target".into())],
-                },
+                ResourceRecord::new("k", "c", vec![("o/name".to_string(), "target".to_string())]),
             );
             let out = net.search(PeerId(40), "c", &Query::any_keyword("target"));
             assert_eq!(out.hits.len(), 1, "{kind} must find the record");
@@ -124,6 +228,43 @@ mod tests {
     }
 
     #[test]
+    fn net_config_defaults_match_build_network() {
+        let config = NetConfig::default();
+        assert_eq!(config.latency, LatencySpec::Constant(20_000));
+        assert_eq!(config.ttl, DEFAULT_TTL);
+        assert!(config.dedup);
+        assert_eq!(config.super_count(64), 8, "sqrt sizing");
+        assert_eq!(config.super_count(0), 1, "clamped to at least one");
+        // explicit settings override the derived sizing
+        assert_eq!(NetConfig::new().supers(3).super_count(64), 3);
+        assert_eq!(NetConfig::new().supers(100).super_count(8), 8, "clamped to n");
+    }
+
+    #[test]
+    fn build_network_with_honors_the_config() {
+        let config = NetConfig::new()
+            .latency(LatencySpec::Constant(1_000))
+            .ttl(2)
+            .dedup(false)
+            .supers(4)
+            .super_degree(1)
+            .super_ttl(2);
+        for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+            let mut net = build_network_with(kind, 32, 7, &config);
+            net.publish(
+                PeerId(1),
+                ResourceRecord::new("k", "c", vec![("o/name".to_string(), "x".to_string())]),
+            );
+            let out = net.search(PeerId(1), "c", &Query::any_keyword("x"));
+            assert_eq!(out.hits.len(), 1, "{kind}: own record is always reachable");
+        }
+        // Napster latency follows the configured model: 1 ms each way
+        let mut net = build_network_with(ProtocolKind::Napster, 4, 7, &config);
+        let out = net.search(PeerId(0), "c", &Query::All);
+        assert_eq!(out.latency, 2_000);
+    }
+
+    #[test]
     fn message_cost_ordering_napster_fasttrack_gnutella() {
         // the E6 headline shape: centralized ≤ super-peer ≤ flooding
         let mut costs = Vec::new();
@@ -131,11 +272,7 @@ mod tests {
             let mut net = build_network(kind, 128, 11);
             net.publish(
                 PeerId(5),
-                ResourceRecord {
-                    key: "k".into(),
-                    community: "c".into(),
-                    fields: vec![("o/name".into(), "x".into())],
-                },
+                ResourceRecord::new("k", "c", vec![("o/name".to_string(), "x".to_string())]),
             );
             let out = net.search(PeerId(100), "c", &Query::any_keyword("x"));
             costs.push((kind, out.messages));

@@ -7,8 +7,11 @@
 //! Protocol: Gnutella-style flooding with per-query duplicate suppression;
 //! hits are returned to the querying peer on a per-search response channel
 //! (out-of-band, like a direct HTTP callback — the 2002 clients' PUSH
-//! descriptor played a similar role).
+//! descriptor played a similar role). Each peer thread evaluates queries
+//! against its own [`IndexNode`], the same indexed share table the
+//! simulated substrates use.
 
+use crate::index_node::IndexNode;
 use crate::message::{ResourceRecord, SearchHit, DEFAULT_TTL};
 use crate::peer::PeerId;
 use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
@@ -16,7 +19,7 @@ use crate::topology::Topology;
 use crate::traits::PeerNetwork;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,7 +40,7 @@ enum LiveMsg {
 struct PeerState {
     tx: Sender<LiveMsg>,
     alive: Arc<AtomicBool>,
-    shared: Arc<Mutex<BTreeMap<String, ResourceRecord>>>,
+    shared: Arc<Mutex<IndexNode>>,
 }
 
 /// A threaded flooding network. Peers live as long as the network; drop
@@ -74,17 +77,17 @@ impl LiveNetwork {
         let mut handles = Vec::with_capacity(n);
         for (i, rx) in rxs.into_iter().enumerate() {
             let alive = Arc::new(AtomicBool::new(true));
-            let shared: Arc<Mutex<BTreeMap<String, ResourceRecord>>> =
-                Arc::new(Mutex::new(BTreeMap::new()));
+            let shared: Arc<Mutex<IndexNode>> = Arc::new(Mutex::new(IndexNode::new()));
             let neighbor_txs: Vec<Sender<LiveMsg>> = topology
                 .neighbors(PeerId(i as u32))
                 .map(|nb| txs[nb.index()].clone())
                 .collect();
+            let own_id = PeerId(i as u32);
             let thread_alive = Arc::clone(&alive);
             let thread_shared = Arc::clone(&shared);
             let thread_messages = Arc::clone(&messages);
             let handle = std::thread::spawn(move || {
-                peer_loop(rx, neighbor_txs, thread_alive, thread_shared, thread_messages)
+                peer_loop(own_id, rx, neighbor_txs, thread_alive, thread_shared, thread_messages)
             });
             peers.push(PeerState { tx: txs[i].clone(), alive, shared });
             handles.push(handle);
@@ -101,10 +104,11 @@ impl LiveNetwork {
 }
 
 fn peer_loop(
+    own_id: PeerId,
     rx: Receiver<LiveMsg>,
     neighbors: Vec<Sender<LiveMsg>>,
     alive: Arc<AtomicBool>,
-    shared: Arc<Mutex<BTreeMap<String, ResourceRecord>>>,
+    shared: Arc<Mutex<IndexNode>>,
     messages: Arc<AtomicU64>,
 ) {
     let mut seen: HashSet<u64> = HashSet::new();
@@ -119,20 +123,17 @@ fn peer_loop(
                     continue; // duplicate suppression (GUID cache)
                 }
                 {
-                    let records = shared.lock();
-                    for record in records.values() {
-                        if record.community == community && query.matches_fields(&record.fields)
-                        {
-                            // ignore send failure: the searcher may have
-                            // stopped listening after its deadline
-                            let _ = reply.send(SearchHit {
-                                key: record.key.clone(),
-                                provider: peer_id_of(&reply, record),
-                                fields: record.fields.clone(),
-                                hops,
-                            });
-                        }
-                    }
+                    let node = shared.lock();
+                    node.search(&community, &query, |_| true, |key, _, fields| {
+                        // ignore send failure: the searcher may have
+                        // stopped listening after its deadline
+                        let _ = reply.send(SearchHit {
+                            key: key.to_string(),
+                            provider: own_id,
+                            fields: fields.clone(),
+                            hops,
+                        });
+                    });
                 }
                 if ttl > 0 {
                     for nb in &neighbors {
@@ -151,23 +152,6 @@ fn peer_loop(
         }
     }
 }
-
-/// The hit's provider: recovered from the record itself. Records carry no
-/// provider in the shared map, so we stash it in a reserved field set at
-/// publish time.
-fn peer_id_of(_reply: &Sender<SearchHit>, record: &ResourceRecord) -> PeerId {
-    record
-        .fields
-        .iter()
-        .find(|(k, _)| k == PROVIDER_FIELD)
-        .and_then(|(_, v)| v.parse::<u32>().ok())
-        .map(PeerId)
-        .unwrap_or(PeerId(u32::MAX))
-}
-
-/// Reserved metadata field carrying the provider id inside the live
-/// network's shared records (stripped from user-visible hit fields).
-const PROVIDER_FIELD: &str = "up2p.live.provider";
 
 impl Drop for LiveNetwork {
     fn drop(&mut self) {
@@ -202,15 +186,15 @@ impl PeerNetwork for LiveNetwork {
         }
     }
 
-    fn publish(&mut self, provider: PeerId, mut record: ResourceRecord) {
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
         let Some(p) = self.peers.get(provider.index()) else { return };
-        record.fields.push((PROVIDER_FIELD.to_string(), provider.0.to_string()));
-        p.shared.lock().insert(record.key.clone(), record);
+        // a peer republishing a key replaces its own record (upsert)
+        p.shared.lock().upsert(provider, &record);
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
         if let Some(p) = self.peers.get(provider.index()) {
-            p.shared.lock().remove(key);
+            p.shared.lock().remove(provider, key);
         }
     }
 
@@ -239,8 +223,7 @@ impl PeerNetwork for LiveNetwork {
         let deadline = started + self.search_deadline;
         while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
             match reply_rx.recv_timeout(remaining) {
-                Ok(mut hit) => {
-                    hit.fields.retain(|(k, _)| k != PROVIDER_FIELD);
+                Ok(hit) => {
                     if dedup.insert((hit.key.clone(), hit.provider), ()).is_none() {
                         let arrival = started.elapsed().as_micros() as u64;
                         outcome.first_hit_latency =
@@ -268,7 +251,7 @@ impl PeerNetwork for LiveNetwork {
             && self
                 .peers
                 .get(provider.index())
-                .map(|p| p.shared.lock().contains_key(key))
+                .map(|p| p.shared.lock().has_provider(key, provider))
                 .unwrap_or(false);
         if available {
             self.stats.retrieves_ok += 1;
@@ -292,11 +275,7 @@ mod tests {
     use super::*;
 
     fn record(key: &str, name: &str) -> ResourceRecord {
-        ResourceRecord {
-            key: key.to_string(),
-            community: "c".to_string(),
-            fields: vec![("o/name".to_string(), name.to_string())],
-        }
+        ResourceRecord::new(key, "c", vec![("o/name".to_string(), name.to_string())])
     }
 
     fn live(n: usize) -> LiveNetwork {
@@ -306,13 +285,15 @@ mod tests {
     #[test]
     fn publish_search_over_threads() {
         let mut net = live(16);
-        net.publish(PeerId(9), record("k1", "observer"));
+        let rec = record("k1", "observer");
+        net.publish(PeerId(9), rec.clone());
         let out = net.search(PeerId(0), "c", &Query::any_keyword("observer"));
         assert_eq!(out.hits.len(), 1);
         assert_eq!(out.hits[0].provider, PeerId(9));
         assert!(out.messages > 0, "flooding sent real messages");
-        // the provider-routing field is stripped from user-visible hits
-        assert!(out.hits[0].fields.iter().all(|(k, _)| k != PROVIDER_FIELD));
+        // hit metadata is the published allocation (refcount bump across
+        // threads, no copy, no routing side-channel fields)
+        assert_eq!(out.hits[0].fields, rec.fields);
     }
 
     #[test]
@@ -365,14 +346,14 @@ mod tests {
         pub fn roundtrip(net: &mut LiveNetwork) {
             net.publish(
                 PeerId(2),
-                ResourceRecord {
-                    key: "community-object".into(),
-                    community: "up2p:root".into(),
-                    fields: vec![
-                        ("community/name".into(), "mp3".into()),
-                        ("community/keywords".into(), "music audio".into()),
+                ResourceRecord::new(
+                    "community-object",
+                    "up2p:root",
+                    vec![
+                        ("community/name".to_string(), "mp3".to_string()),
+                        ("community/keywords".to_string(), "music audio".to_string()),
                     ],
-                },
+                ),
             );
             let out = net.search(PeerId(11), "up2p:root", &Query::any_keyword("music"));
             assert_eq!(out.hits.len(), 1, "community discovered over live transport");

@@ -3,18 +3,21 @@
 //!
 //! Sits between Napster and Gnutella in the E6 comparison: no single
 //! server, but message cost scales with super-peer edges rather than all
-//! peers.
+//! peers. Every super-peer's record table is an [`IndexNode`], so each
+//! super answers a query with a posting-list lookup over its leaves'
+//! records instead of scanning them.
 
+use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, Time};
 use crate::peer::PeerId;
 use crate::sim::EventQueue;
-use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::topology::Topology;
 use crate::traits::PeerNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use up2p_store::Query;
 
 /// Configuration for the super-peer substrate.
@@ -43,8 +46,8 @@ pub struct SuperPeerNetwork {
     /// Overlay among super-peers; `PeerId` in this graph is the *super
     /// index* (0..supers), not the global peer id.
     super_topology: Topology,
-    /// Per-super metadata index: key → (record, providers).
-    indexes: Vec<BTreeMap<String, (ResourceRecord, BTreeSet<PeerId>)>>,
+    /// Per-super metadata index over its leaves' records.
+    indexes: Vec<IndexNode>,
     /// Per-peer owned object keys (for retrieval).
     owned: Vec<BTreeSet<String>>,
     alive: Vec<bool>,
@@ -102,7 +105,7 @@ impl SuperPeerNetwork {
             config,
             super_of,
             super_topology,
-            indexes: vec![BTreeMap::new(); config.supers],
+            indexes: std::iter::repeat_with(IndexNode::new).take(config.supers).collect(),
             owned: vec![BTreeSet::new(); n],
             alive: vec![true; n],
             latency,
@@ -150,28 +153,19 @@ impl PeerNetwork for SuperPeerNetwork {
         }
         let s = self.super_of(provider);
         if !self.is_super(provider) {
-            self.stats.sent("Publish"); // leaf → super upload
+            self.stats.sent(MsgKind::Publish); // leaf → super upload
         }
         self.owned[provider.index()].insert(record.key.clone());
-        self.indexes[s]
-            .entry(record.key.clone())
-            .or_insert_with(|| (record, BTreeSet::new()))
-            .1
-            .insert(provider);
+        self.indexes[s].insert(provider, &record);
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
         let s = self.super_of(provider);
         if !self.is_super(provider) {
-            self.stats.sent("Unpublish");
+            self.stats.sent(MsgKind::Unpublish);
         }
         self.owned[provider.index()].remove(key);
-        if let Some((_, providers)) = self.indexes[s].get_mut(key) {
-            providers.remove(&provider);
-            if providers.is_empty() {
-                self.indexes[s].remove(key);
-            }
-        }
+        self.indexes[s].remove(provider, key);
     }
 
     fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
@@ -183,7 +177,7 @@ impl PeerNetwork for SuperPeerNetwork {
         let s0 = self.super_of(origin);
         let mut uplink: Time = 0;
         if !self.is_super(origin) {
-            self.stats.sent("Query");
+            self.stats.sent(MsgKind::Query);
             outcome.messages += 1;
             uplink = self.latency.delay(origin, self.super_peer_id(s0));
             if !self.is_alive(self.super_peer_id(s0)) {
@@ -210,32 +204,36 @@ impl PeerNetwork for SuperPeerNetwork {
             if !seen.insert(ev.to) {
                 continue;
             }
-            // answer from this super's index
-            let alive = self.alive.clone();
+            // answer from this super's index: candidates come from the
+            // posting lists, liveness filters only that candidate set
+            let hops = ev.path.len() as u8 + u8::from(!self.is_super(origin));
             let mut local_hits: Vec<SearchHit> = Vec::new();
-            for (record, providers) in self.indexes[ev.to].values() {
-                if record.community != community || !query.matches_fields(&record.fields) {
-                    continue;
-                }
-                for &p in providers {
-                    if alive.get(p.index()).copied().unwrap_or(false)
-                        && hit_seen.insert((record.key.clone(), p))
-                    {
-                        local_hits.push(SearchHit {
-                            key: record.key.clone(),
-                            provider: p,
-                            fields: record.fields.clone(),
-                            hops: ev.path.len() as u8 + u8::from(!self.is_super(origin)),
-                        });
-                    }
-                }
+            {
+                let alive = &self.alive;
+                let hit_seen = &mut hit_seen;
+                let local_hits = &mut local_hits;
+                self.indexes[ev.to].search(
+                    community,
+                    query,
+                    |p| alive.get(p.index()).copied().unwrap_or(false),
+                    |key, p, fields| {
+                        if hit_seen.insert((key.to_string(), p)) {
+                            local_hits.push(SearchHit {
+                                key: key.to_string(),
+                                provider: p,
+                                fields: fields.clone(),
+                                hops,
+                            });
+                        }
+                    },
+                );
             }
             if !local_hits.is_empty() {
                 // back along super path, then down to the leaf
                 let mut back: Time = 0;
                 let mut prev = ev.to;
                 for &node in ev.path.iter().rev() {
-                    self.stats.sent("QueryHit");
+                    self.stats.sent(MsgKind::QueryHit);
                     outcome.messages += 1;
                     back += self
                         .latency
@@ -243,7 +241,7 @@ impl PeerNetwork for SuperPeerNetwork {
                     prev = node;
                 }
                 if !self.is_super(origin) {
-                    self.stats.sent("QueryHit");
+                    self.stats.sent(MsgKind::QueryHit);
                     outcome.messages += 1;
                     back += self.latency.delay(self.super_peer_id(s0), origin);
                 }
@@ -268,7 +266,7 @@ impl PeerNetwork for SuperPeerNetwork {
                     if Some(nb) == sender {
                         continue;
                     }
-                    self.stats.sent("Query");
+                    self.stats.sent(MsgKind::Query);
                     outcome.messages += 1;
                     let at = t
                         + self
@@ -290,14 +288,14 @@ impl PeerNetwork for SuperPeerNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
-        self.stats.sent("Retrieve");
+        self.stats.sent(MsgKind::Retrieve);
         let available = self.is_alive(origin)
             && self.is_alive(provider)
             && self.owned[provider.index()].contains(key);
         if !available {
             return RetrieveOutcome::Unavailable;
         }
-        self.stats.sent("RetrieveOk");
+        self.stats.sent(MsgKind::RetrieveOk);
         self.stats.retrieves_ok += 1;
         let latency = self.latency.delay(origin, provider) + self.latency.delay(provider, origin);
         RetrieveOutcome::Fetched { provider, latency }
@@ -318,11 +316,7 @@ mod tests {
     use crate::latency::ConstantLatency;
 
     fn record(key: &str, name: &str) -> ResourceRecord {
-        ResourceRecord {
-            key: key.to_string(),
-            community: "c".to_string(),
-            fields: vec![("o/name".to_string(), name.to_string())],
-        }
+        ResourceRecord::new(key, "c", vec![("o/name".to_string(), name.to_string())])
     }
 
     fn net(n: usize, supers: usize) -> SuperPeerNetwork {

@@ -70,6 +70,26 @@ pub enum ProtocolKind {
 impl ProtocolKind {
     /// Parses the schema enumeration value (empty string maps to
     /// `Gnutella`, the paper's default-flavored decentralized choice).
+    ///
+    /// Values are matched exactly as the Fig. 3 schema enumerates them —
+    /// case-sensitive, no aliases:
+    ///
+    /// ```
+    /// use up2p_net::ProtocolKind;
+    ///
+    /// assert_eq!(ProtocolKind::from_schema_value("Napster"), Some(ProtocolKind::Napster));
+    /// assert_eq!(ProtocolKind::from_schema_value("Gnutella"), Some(ProtocolKind::Gnutella));
+    /// assert_eq!(ProtocolKind::from_schema_value("FastTrack"), Some(ProtocolKind::FastTrack));
+    /// // unset protocol → the decentralized default
+    /// assert_eq!(ProtocolKind::from_schema_value(""), Some(ProtocolKind::Gnutella));
+    /// // anything else is rejected, including case variants
+    /// assert_eq!(ProtocolKind::from_schema_value("napster"), None);
+    /// assert_eq!(ProtocolKind::from_schema_value("Kazaa"), None);
+    /// // every kind round-trips through its schema value
+    /// for kind in [ProtocolKind::Napster, ProtocolKind::Gnutella, ProtocolKind::FastTrack] {
+    ///     assert_eq!(ProtocolKind::from_schema_value(kind.schema_value()), Some(kind));
+    /// }
+    /// ```
     pub fn from_schema_value(v: &str) -> Option<ProtocolKind> {
         match v {
             "" | "Gnutella" => Some(ProtocolKind::Gnutella),
@@ -80,6 +100,12 @@ impl ProtocolKind {
     }
 
     /// The schema enumeration value.
+    ///
+    /// ```
+    /// use up2p_net::ProtocolKind;
+    /// assert_eq!(ProtocolKind::FastTrack.schema_value(), "FastTrack");
+    /// assert_eq!(ProtocolKind::FastTrack.to_string(), "FastTrack");
+    /// ```
     pub fn schema_value(self) -> &'static str {
         match self {
             ProtocolKind::Napster => "Napster",

@@ -1,18 +1,161 @@
 //! Property tests for the simulated substrates: determinism, message
-//! bounds, and cross-protocol agreement on search results.
+//! bounds, cross-protocol agreement on search results, and the
+//! index/scan equivalence oracle for [`IndexNode`].
 
+use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 use up2p_net::{
-    build_network, ConstantLatency, FloodingConfig, FloodingNetwork, PeerId, PeerNetwork,
-    ProtocolKind, ResourceRecord, Topology,
+    build_network, ConstantLatency, FloodingConfig, FloodingNetwork, IndexNode, PeerId,
+    PeerNetwork, ProtocolKind, ResourceRecord, Topology,
 };
-use up2p_store::Query;
+use up2p_store::{Query, ValuePattern};
 
 fn record(key: &str, name: &str) -> ResourceRecord {
-    ResourceRecord {
-        key: key.to_string(),
-        community: "c".to_string(),
-        fields: vec![("o/name".to_string(), name.to_string())],
+    ResourceRecord::new(key, "c", vec![("o/name".to_string(), name.to_string())])
+}
+
+// ---------------------------------------------------------------------
+// Index/scan equivalence oracle
+// ---------------------------------------------------------------------
+
+/// One publish operation in the oracle workload.
+#[derive(Debug, Clone)]
+struct PublishOp {
+    key: String,
+    community: &'static str,
+    provider: PeerId,
+    fields: Vec<(String, String)>,
+}
+
+const COMMUNITIES: [&str; 2] = ["alpha", "beta"];
+const ORACLE_PEERS: usize = 8;
+
+fn field_path() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("o/name"), Just("o/tag"), Just("meta/name")]
+}
+
+fn value_word() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("apple"),
+        Just("banana split"),
+        Just("Observer Pattern"),
+        Just("factory"),
+        Just("errant banana"),
+    ]
+}
+
+fn publish_ops() -> impl Strategy<Value = Vec<PublishOp>> {
+    pvec(
+        (
+            0usize..16,
+            0usize..COMMUNITIES.len(),
+            0u32..ORACLE_PEERS as u32,
+            pvec((field_path(), value_word()), 1..3),
+        ),
+        0..40,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(key, community, provider, fields)| PublishOp {
+                key: format!("k{key}"),
+                community: COMMUNITIES[community],
+                provider: PeerId(provider),
+                fields: fields
+                    .into_iter()
+                    .map(|(p, v)| (p.to_string(), v.to_string()))
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+/// Random queries covering every class the substrates evaluate: exact,
+/// keyword (fielded and any-field), wildcard patterns, and boolean
+/// composition over them.
+fn oracle_query() -> impl Strategy<Value = Query> {
+    let reference = prop_oneof![
+        Just("name"),
+        Just("o/name"),
+        Just("tag"),
+        Just("meta/name"),
+        Just("absent/field"),
+    ];
+    let frag = prop_oneof![
+        Just("apple"),
+        Just("banana"),
+        Just("observer"),
+        Just("pattern"),
+        Just("err"),
+        Just("missing"),
+    ];
+    let leaf = prop_oneof![
+        Just(Query::All),
+        (reference.clone(), frag.clone()).prop_map(|(f, w)| Query::eq(f, w)),
+        (reference.clone(), frag.clone()).prop_map(|(f, w)| Query::contains(f, w)),
+        (reference.clone(), frag.clone()).prop_map(|(f, w)| Query::keyword(f, w)),
+        frag.clone().prop_map(Query::any_keyword),
+        (reference.clone(), frag.clone()).prop_map(|(f, w)| Query::Match {
+            field: f.to_string(),
+            pattern: ValuePattern::from_wildcard(&format!("{w}*")),
+        }),
+        (reference.clone(), frag).prop_map(|(f, w)| Query::Match {
+            field: f.to_string(),
+            pattern: ValuePattern::from_wildcard(&format!("*{w}")),
+        }),
+        reference.prop_map(|f| Query::Match {
+            field: f.to_string(),
+            pattern: ValuePattern::Present,
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            pvec(inner.clone(), 0..3).prop_map(Query::and),
+            pvec(inner.clone(), 0..3).prop_map(Query::or),
+            inner.prop_map(|q| Query::Not(Box::new(q))),
+        ]
+    })
+}
+
+/// The pre-refactor reference: a flat record table evaluated with a
+/// linear `Query::matches_fields` scan and per-record provider sets
+/// (first publish of a key wins, last provider removes the record).
+#[derive(Default)]
+struct LinearTable {
+    records: BTreeMap<String, (ResourceRecord, BTreeSet<PeerId>)>,
+}
+
+impl LinearTable {
+    fn publish(&mut self, provider: PeerId, record: &ResourceRecord) {
+        self.records
+            .entry(record.key.clone())
+            .or_insert_with(|| (record.clone(), BTreeSet::new()))
+            .1
+            .insert(provider);
+    }
+
+    fn unpublish(&mut self, provider: PeerId, key: &str) {
+        if let Some((_, providers)) = self.records.get_mut(key) {
+            providers.remove(&provider);
+            if providers.is_empty() {
+                self.records.remove(key);
+            }
+        }
+    }
+
+    fn search(&self, community: &str, query: &Query, alive: &[bool]) -> BTreeSet<(String, PeerId)> {
+        let mut hits = BTreeSet::new();
+        for (record, providers) in self.records.values() {
+            if record.community != community || !query.matches_fields(&record.fields) {
+                continue;
+            }
+            for &p in providers {
+                if alive.get(p.index()).copied().unwrap_or(false) {
+                    hits.insert((record.key.clone(), p));
+                }
+            }
+        }
+        hits
     }
 }
 
@@ -87,6 +230,48 @@ proptest! {
             // wrong community also yields nothing
             let out = net.search(PeerId(0), "other", &Query::any_keyword("exists"));
             prop_assert!(out.hits.is_empty());
+        }
+    }
+
+    /// The index/scan equivalence oracle: for random records,
+    /// communities, liveness patterns and queries (exact, keyword,
+    /// wildcard, boolean), the `IndexNode` hit set equals the old linear
+    /// `matches_fields` scan — including after a random prefix of
+    /// unpublish operations.
+    #[test]
+    fn index_node_agrees_with_linear_scan(
+        publishes in publish_ops(),
+        removals in pvec((0usize..16, 0u32..ORACLE_PEERS as u32), 0..12),
+        liveness in pvec(any::<bool>(), ORACLE_PEERS),
+        query in oracle_query(),
+    ) {
+        let mut node = IndexNode::new();
+        let mut linear = LinearTable::default();
+        for op in &publishes {
+            let record = ResourceRecord::new(&*op.key, op.community, op.fields.clone());
+            node.insert(op.provider, &record);
+            linear.publish(op.provider, &record);
+        }
+        for &(key, provider) in &removals {
+            let key = format!("k{key}");
+            node.remove(PeerId(provider), &key);
+            linear.unpublish(PeerId(provider), &key);
+        }
+        for community in COMMUNITIES {
+            let expected = linear.search(community, &query, &liveness);
+            let mut got: BTreeSet<(String, PeerId)> = BTreeSet::new();
+            node.search(
+                community,
+                &query,
+                |p| liveness.get(p.index()).copied().unwrap_or(false),
+                |key, p, _| {
+                    got.insert((key.to_string(), p));
+                },
+            );
+            prop_assert_eq!(
+                &got, &expected,
+                "index/scan disagreement in {} on {}", community, query
+            );
         }
     }
 

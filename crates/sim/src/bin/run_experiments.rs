@@ -1,25 +1,29 @@
-//! Regenerates experiment tables (E1–E8).
+//! Regenerates experiment tables (E1–E9).
 //!
 //! ```text
 //! cargo run -p up2p-sim --release --bin run_experiments             # all, ASCII
 //! cargo run -p up2p-sim --release --bin run_experiments -- --md     # markdown (EXPERIMENTS.md body)
 //! cargo run -p up2p-sim --release --bin run_experiments -- --smoke  # reduced sizes
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e8 --quick
+//! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e9_search_scale --quick
 //! ```
 //!
-//! Running E8 (alone or as part of the full run) also writes its JSON
-//! metrics to `BENCH_e8_index_scale.json` (override with `--out PATH`) —
-//! the perf-trajectory artifact CI uploads.
+//! Running E8 or E9 (alone or as part of the full run) also writes the
+//! scenario's JSON metrics to `BENCH_e8_index_scale.json` /
+//! `BENCH_e9_search_scale.json` (override with `--out PATH` on a
+//! single-scenario run) — the perf-trajectory artifacts CI uploads.
 
 use up2p_sim::{
     e1_pipeline, e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation,
-    e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale_report, Scale, Table,
+    e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale_report,
+    e9_search_scale_report, Scale, Table,
 };
 
 const E8_REPORT_DEFAULT: &str = "BENCH_e8_index_scale.json";
+const E9_REPORT_DEFAULT: &str = "BENCH_e9_search_scale.json";
 
 fn print_help() {
-    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E8)");
+    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E9)");
     println!();
     println!("USAGE:");
     println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
@@ -27,8 +31,10 @@ fn print_help() {
     println!("FLAGS:");
     println!("    --md              emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
     println!("    --smoke, --quick  reduced sizes for a quick sanity run");
-    println!("    --scenario NAME   run one scenario only (e1..e8)");
-    println!("    --out PATH        where the E8 JSON report goes (default {E8_REPORT_DEFAULT})");
+    println!("    --scenario NAME   run one scenario only (e1..e9; e9_search_scale works too)");
+    println!("    --out PATH        where the scenario JSON report goes on a single");
+    println!("                      --scenario e8/e9 run (defaults {E8_REPORT_DEFAULT} /");
+    println!("                      {E9_REPORT_DEFAULT})");
     println!("    -h, --help        print this help");
 }
 
@@ -41,7 +47,7 @@ fn main() {
     let mut markdown = false;
     let mut scale = Scale::Full;
     let mut scenario: Option<String> = None;
-    let mut out_path = E8_REPORT_DEFAULT.to_string();
+    let mut out_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,12 +56,12 @@ fn main() {
             "--scenario" => match it.next() {
                 Some(name) => scenario = Some(name.clone()),
                 None => {
-                    eprintln!("error: --scenario needs a name (e1..e8)");
+                    eprintln!("error: --scenario needs a name (e1..e9)");
                     std::process::exit(2);
                 }
             },
             "--out" => match it.next() {
-                Some(path) => out_path = path.clone(),
+                Some(path) => out_path = Some(path.clone()),
                 None => {
                     eprintln!("error: --out needs a path");
                     std::process::exit(2);
@@ -69,21 +75,40 @@ fn main() {
     }
     let seed = 42;
 
+    // --out redirects the report only on a single-scenario run; a full
+    // run writes every report to its default path (honoring --out there
+    // would make E9 clobber E8's file)
+    let single_scenario = scenario.is_some();
+    if out_path.is_some() && !single_scenario {
+        eprintln!("warning: --out is ignored without --scenario; using default report paths");
+    }
+    let write_report = |report: &up2p_sim::BenchReport, default_path: &str| {
+        let path = match (&out_path, single_scenario) {
+            (Some(path), true) => path.as_str(),
+            _ => default_path,
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    };
     let run_e8 = |tables: &mut Vec<Table>| {
         let (table, report) = e8_index_scale_report(scale, seed);
-        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
-            eprintln!("warning: could not write {out_path}: {e}");
-        } else {
-            eprintln!("wrote {out_path}");
-        }
+        write_report(&report, E8_REPORT_DEFAULT);
+        tables.push(table);
+    };
+    let run_e9 = |tables: &mut Vec<Table>| {
+        let (table, report) = e9_search_scale_report(scale, seed);
+        write_report(&report, E9_REPORT_DEFAULT);
         tables.push(table);
     };
 
     let mut tables = Vec::new();
     match scenario.as_deref() {
         None => {
-            // same order as run_all, with E8 run through run_e8 so the
-            // JSON report is written on full runs too (and E8 only once)
+            // same order as run_all, with E8/E9 run through their report
+            // paths so the JSON artifacts are written on full runs too
             eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
             tables.push(e1_pipeline());
             tables.push(e2_generation(&[4, 8, 16, 32, 64]));
@@ -96,6 +121,7 @@ fn main() {
             tables.push(e6_topologies(scale, seed));
             tables.push(e7_indexing());
             run_e8(&mut tables);
+            run_e9(&mut tables);
         }
         Some("e1") => tables.push(e1_pipeline()),
         Some("e2") => tables.push(e2_generation(&[4, 8, 16, 32, 64])),
@@ -109,9 +135,10 @@ fn main() {
             tables.push(e6_topologies(scale, seed));
         }
         Some("e7") => tables.push(e7_indexing()),
-        Some("e8") => run_e8(&mut tables),
+        Some("e8" | "e8_index_scale") => run_e8(&mut tables),
+        Some("e9" | "e9_search_scale") => run_e9(&mut tables),
         Some(other) => {
-            eprintln!("error: unknown scenario '{other}' (expected e1..e8)");
+            eprintln!("error: unknown scenario '{other}' (expected e1..e9)");
             std::process::exit(2);
         }
     }

@@ -45,9 +45,30 @@ impl ResourceId {
         }
     }
 
-    /// A short prefix for display (first 8 hex digits).
+    /// A short prefix for display: the first 8 hex digits, or the whole
+    /// id when it is shorter (ids wrapped by [`ResourceId::from_key`]
+    /// are not guaranteed to be 40-hex).
     pub fn short(&self) -> &str {
-        &self.0[..8]
+        self.0.get(..8).unwrap_or(&self.0)
+    }
+
+    /// Wraps an arbitrary string key as an identifier without hashing.
+    ///
+    /// The network layer addresses records by the string key a provider
+    /// published them under (normally the 40-hex content id, but any
+    /// opaque key works); this lets its index nodes use the key directly
+    /// as a [`crate::MetadataIndex`] document id.
+    pub fn from_key(key: &str) -> ResourceId {
+        ResourceId(key.into())
+    }
+}
+
+/// `HashMap<ResourceId, _>` lookups by bare `&str` key without allocating
+/// an id. Sound because the derived `Hash`/`Eq` of the newtype delegate to
+/// the inner string content.
+impl std::borrow::Borrow<str> for ResourceId {
+    fn borrow(&self) -> &str {
+        &self.0
     }
 }
 
@@ -161,9 +182,29 @@ mod tests {
     }
 
     #[test]
+    fn from_key_wraps_and_borrows_as_str() {
+        use std::borrow::Borrow;
+        use std::collections::HashMap;
+        let id = ResourceId::from_key("k1");
+        assert_eq!(Borrow::<str>::borrow(&id), "k1");
+        // hash consistency: map keyed by ResourceId answers &str lookups
+        let mut map: HashMap<ResourceId, u32> = HashMap::new();
+        map.insert(id.clone(), 7);
+        assert_eq!(map.get("k1"), Some(&7));
+        assert_eq!(map.get("k2"), None);
+        // hex ids round-trip through from_key unchanged
+        let hashed = ResourceId::for_bytes(b"data");
+        assert_eq!(ResourceId::from_key(hashed.as_hex()), hashed);
+    }
+
+    #[test]
     fn short_form_is_prefix() {
         let id = ResourceId::for_bytes(b"data");
         assert_eq!(id.short().len(), 8);
         assert!(id.as_hex().starts_with(id.short()));
+        // ids from arbitrary keys display without panicking
+        assert_eq!(ResourceId::from_key("k1").short(), "k1");
+        assert_eq!(ResourceId::from_key("exactly8").short(), "exactly8");
+        assert_eq!(ResourceId::from_key("more-than-eight").short(), "more-tha");
     }
 }

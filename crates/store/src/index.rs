@@ -19,6 +19,12 @@ use crate::digest::ResourceId;
 use crate::query::{Query, ValuePattern};
 use crate::tokenizer::{for_each_token, normalize};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Shared handle to one object's extracted `(field path, value)` pairs.
+/// Cloning is a refcount bump; the index, the repository and the network
+/// layer all hold the same allocation.
+pub type SharedFields = Arc<[(String, String)]>;
 
 /// Interner mapping strings to dense `u32` symbols. Each distinct string
 /// is stored exactly once (as the lookup key); the content byte total is
@@ -58,11 +64,14 @@ impl SymbolTable {
 
 /// Everything stored per indexed object: the original id, the raw
 /// extracted fields (public API + snippets), and the interned/normalized
-/// forms the scan fallback and targeted removal replay.
+/// forms the scan fallback and targeted removal replay. Fields are held
+/// behind an `Arc` so callers that already share the extracted metadata
+/// (the net layer's index nodes, the repository) pay a refcount bump, not
+/// a deep copy, per index.
 #[derive(Debug, Clone)]
 struct DocEntry {
     id: ResourceId,
-    fields: Vec<(String, String)>,
+    fields: Arc<[(String, String)]>,
     path_syms: Vec<u32>,
     norms: Vec<String>,
 }
@@ -114,6 +123,15 @@ impl MetadataIndex {
 
     /// Indexes (or re-indexes) an object's extracted fields.
     pub fn insert(&mut self, id: ResourceId, fields: Vec<(String, String)>) {
+        self.insert_shared(id, fields.into());
+    }
+
+    /// Indexes (or re-indexes) an object whose extracted fields are
+    /// already shared. The index keeps the `Arc` (a refcount bump) — this
+    /// is the borrowing insert the net layer's index nodes use so one
+    /// metadata allocation serves the publisher, every index node and
+    /// every search hit.
+    pub fn insert_shared(&mut self, id: ResourceId, fields: Arc<[(String, String)]>) {
         self.remove(&id);
         let doc = self.alloc_doc(id.clone());
         let entry = self.post_fields(doc, id, fields, None);
@@ -125,11 +143,13 @@ impl MetadataIndex {
     /// unchecked, then sorted and deduplicated once at the end. When the
     /// batch repeats an id, the last occurrence wins (sequential-insert
     /// semantics).
-    pub fn insert_batch<I>(&mut self, batch: I)
+    pub fn insert_batch<I, F>(&mut self, batch: I)
     where
-        I: IntoIterator<Item = (ResourceId, Vec<(String, String)>)>,
+        I: IntoIterator<Item = (ResourceId, F)>,
+        F: Into<Arc<[(String, String)]>>,
     {
-        let items: Vec<(ResourceId, Vec<(String, String)>)> = batch.into_iter().collect();
+        let items: Vec<(ResourceId, SharedFields)> =
+            batch.into_iter().map(|(id, fields)| (id, fields.into())).collect();
         // removals first, while every posting list is still sorted; also
         // mark all but the last occurrence of a repeated id as skipped
         let mut keep = vec![true; items.len()];
@@ -196,8 +216,14 @@ impl MetadataIndex {
 
     /// The extracted fields of an indexed object.
     pub fn fields(&self, id: &ResourceId) -> Option<&[(String, String)]> {
+        self.shared_fields(id).map(|f| &**f)
+    }
+
+    /// The shared handle to an indexed object's extracted fields (clone =
+    /// refcount bump; this is what search hits carry).
+    pub fn shared_fields(&self, id: &ResourceId) -> Option<&Arc<[(String, String)]>> {
         let doc = *self.doc_ids.get(id)?;
-        Some(self.docs[doc as usize].as_ref().expect("live doc-id has an entry").fields.as_slice())
+        Some(&self.docs[doc as usize].as_ref().expect("live doc-id has an entry").fields)
     }
 
     /// All indexed ids.
@@ -216,6 +242,21 @@ impl MetadataIndex {
             .into_iter()
             .map(|doc| self.docs[doc as usize].as_ref().expect("live doc-id has an entry").id.clone())
             .collect()
+    }
+
+    /// Visits every matching object in ascending doc-id (insertion)
+    /// order without materializing an id set. The callback receives the
+    /// id and the shared fields handle, so callers can compose the
+    /// candidate set with their own state — e.g. the net layer filters
+    /// by provider liveness and emits hits that share the same `Arc`.
+    pub fn for_each_match<F>(&self, query: &Query, mut f: F)
+    where
+        F: FnMut(&ResourceId, &Arc<[(String, String)]>),
+    {
+        for doc in self.exec(query) {
+            let entry = self.docs[doc as usize].as_ref().expect("live doc-id has an entry");
+            f(&entry.id, &entry.fields);
+        }
     }
 
     /// Allocates a doc-id (recycling freed slots) and registers the id.
@@ -256,12 +297,12 @@ impl MetadataIndex {
         &mut self,
         doc: u32,
         id: ResourceId,
-        fields: Vec<(String, String)>,
+        fields: Arc<[(String, String)]>,
         mut dirty: Option<&mut HashSet<(bool, u32, u32)>>,
     ) -> DocEntry {
         let mut path_syms = Vec::with_capacity(fields.len());
         let mut norms = Vec::with_capacity(fields.len());
-        for (path, value) in &fields {
+        for (path, value) in fields.iter() {
             let p = self.intern_path(path);
             path_syms.push(p);
             let norm = normalize(value);
@@ -740,6 +781,37 @@ mod tests {
         // the bare leaf still matches everything ending in /c
         let hits = ix.execute(&Query::Match { field: "c".into(), pattern: ValuePattern::Present });
         assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn shared_fields_flow_by_reference() {
+        let mut ix = MetadataIndex::new();
+        let fields: Arc<[(String, String)]> =
+            vec![("pattern/name".to_string(), "Observer Pattern".to_string())].into();
+        ix.insert_shared(id(1), Arc::clone(&fields));
+        // the index holds the same allocation, not a copy
+        let held = ix.shared_fields(&id(1)).expect("indexed");
+        assert!(Arc::ptr_eq(held, &fields));
+        assert_eq!(ix.fields(&id(1)), Some(&*fields));
+        // candidate iteration surfaces the same handle and composes with
+        // an external predicate
+        let mut seen = Vec::new();
+        ix.for_each_match(&Query::any_keyword("observer"), |rid, f| {
+            assert!(Arc::ptr_eq(f, &fields));
+            seen.push(rid.clone());
+        });
+        assert_eq!(seen, vec![id(1)]);
+        ix.for_each_match(&Query::any_keyword("missing"), |_, _| panic!("no match expected"));
+    }
+
+    #[test]
+    fn for_each_match_visits_in_insertion_order() {
+        let ix = sample();
+        let mut order = Vec::new();
+        ix.for_each_match(&Query::eq("category", "creational"), |rid, _| {
+            order.push(rid.clone());
+        });
+        assert_eq!(order, vec![id(2), id(3)], "ascending doc-id order");
     }
 
     #[test]

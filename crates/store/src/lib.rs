@@ -40,7 +40,7 @@ mod tokenizer;
 pub use cmip::parse_cmip;
 pub use digest::{sha1, ResourceId};
 pub use error::StoreError;
-pub use index::{IndexStats, MetadataIndex};
+pub use index::{IndexStats, MetadataIndex, SharedFields};
 pub use query::{field_matches, Query, ValuePattern};
 pub use repository::{Repository, StoredObject};
 pub use tokenizer::{is_normalized, normalize, tokenize, tokenize_with, STOPWORDS};

@@ -8,6 +8,7 @@ use crate::index::{IndexStats, MetadataIndex};
 use crate::query::Query;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::sync::Arc;
 use up2p_xml::{Document, ElementBuilder, XPath};
 
 /// A stored shared object: its community, canonical XML, parsed document
@@ -20,8 +21,10 @@ pub struct StoredObject {
     pub community: String,
     /// Canonical (compact) XML text.
     pub xml: String,
-    /// Extracted `(field path, value)` metadata.
-    pub fields: Vec<(String, String)>,
+    /// Extracted `(field path, value)` metadata — the same allocation the
+    /// metadata index (and, on the publish path, the network record)
+    /// holds.
+    pub fields: Arc<[(String, String)]>,
     doc: Document,
 }
 
@@ -118,16 +121,19 @@ impl Repository {
     }
 
     /// Inserts with pre-extracted fields (used by the indexer-stylesheet
-    /// path, where the community's filter stylesheet chose the fields).
+    /// path, where the community's filter stylesheet chose the fields,
+    /// and by the servent's publish path, which shares one `Arc` between
+    /// the repository, the index and the published network record).
     pub fn insert_with_fields(
         &mut self,
         community: &str,
         doc: Document,
-        fields: Vec<(String, String)>,
+        fields: impl Into<Arc<[(String, String)]>>,
     ) -> ResourceId {
+        let fields = fields.into();
         let xml = doc.to_xml_string();
         let id = ResourceId::for_object(community, &xml);
-        self.index.insert(id.clone(), fields.clone());
+        self.index.insert_shared(id.clone(), Arc::clone(&fields));
         self.by_community.entry(community.to_string()).or_default().insert(id.clone());
         self.objects.insert(
             id.clone(),
@@ -150,18 +156,20 @@ impl Repository {
     where
         I: IntoIterator<Item = Document>,
     {
-        type Prepared = (ResourceId, Vec<(String, String)>, String, Document);
+        type Prepared = (ResourceId, Arc<[(String, String)]>, String, Document);
         let prepared: Vec<Prepared> = docs
             .into_iter()
             .map(|doc| {
-                let fields = Self::extract_fields(&doc, index_paths);
+                let fields: Arc<[(String, String)]> =
+                    Self::extract_fields(&doc, index_paths).into();
                 let xml = doc.to_xml_string();
                 let id = ResourceId::for_object(community, &xml);
                 (id, fields, xml, doc)
             })
             .collect();
-        self.index
-            .insert_batch(prepared.iter().map(|(id, fields, _, _)| (id.clone(), fields.clone())));
+        self.index.insert_batch(
+            prepared.iter().map(|(id, fields, _, _)| (id.clone(), Arc::clone(fields))),
+        );
         let mut ids = Vec::with_capacity(prepared.len());
         for (id, fields, xml, doc) in prepared {
             ids.push(id.clone());
@@ -292,7 +300,7 @@ impl Repository {
         std::fs::create_dir_all(dir)?;
         for obj in self.objects.values() {
             let mut fields = ElementBuilder::new("fields");
-            for (path, value) in &obj.fields {
+            for (path, value) in obj.fields.iter() {
                 fields = fields.child(
                     ElementBuilder::new("field").attr("path", path.clone()).text(value.clone()),
                 );

@@ -29,7 +29,7 @@ fn bench_protocols(c: &mut Criterion) {
         let net = FloodingNetwork::new(
             topo,
             Box::new(ConstantLatency(20_000)),
-            FloodingConfig { ttl: 5, dedup },
+            FloodingConfig { ttl: 5, dedup, ..FloodingConfig::default() },
         );
         let community = up2p_sim::corpus::pattern_community();
         let mut world = World {

@@ -129,12 +129,19 @@ impl PeerNetwork for CentralizedNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
-        let has = self.server.has_provider(key, provider);
-        if !self.is_alive(origin) || !self.is_alive(provider) || !has {
-            self.stats.sent(MsgKind::Retrieve);
+        if !self.is_alive(origin) {
+            // a dead peer cannot send: the request never leaves the origin
             return RetrieveOutcome::Unavailable;
         }
         self.stats.sent(MsgKind::Retrieve);
+        if !self.is_alive(provider) {
+            self.stats.dropped += 1;
+            return RetrieveOutcome::Unavailable;
+        }
+        if !self.server.has_provider(key, provider) {
+            self.stats.sent(MsgKind::RetrieveFail);
+            return RetrieveOutcome::Unavailable;
+        }
         self.stats.sent(MsgKind::RetrieveOk);
         self.stats.retrieves_ok += 1;
         RetrieveOutcome::Fetched { provider, latency: self.rtt(origin, provider) }
@@ -197,6 +204,12 @@ mod tests {
         // retrieval from the dead one fails, from the live one succeeds
         assert!(!net.retrieve(PeerId(0), PeerId(1), "k1").is_fetched());
         assert!(net.retrieve(PeerId(0), PeerId(2), "k1").is_fetched());
+        // and one where the provider never had the object fails loudly
+        assert!(!net.retrieve(PeerId(0), PeerId(0), "k1").is_fetched());
+        assert_eq!(net.stats().count(MsgKind::Retrieve), 3);
+        assert_eq!(net.stats().count(MsgKind::RetrieveOk), 1);
+        assert_eq!(net.stats().count(MsgKind::RetrieveFail), 1);
+        assert_eq!(net.stats().dropped, 1, "the dead provider's request is dropped");
     }
 
     #[test]
@@ -241,6 +254,11 @@ mod tests {
         let out = net.search(PeerId(0), "c", &Query::All);
         assert!(out.hits.is_empty());
         assert_eq!(out.messages, 0);
+        // the same for retrieves: a dead origin sends nothing
+        let before = net.stats().messages;
+        assert!(!net.retrieve(PeerId(0), PeerId(1), "k1").is_fetched());
+        assert_eq!(net.stats().messages, before, "a dead peer cannot send");
+        assert_eq!(net.stats().retrieves, 1);
     }
 
     #[test]

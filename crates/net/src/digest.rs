@@ -1,0 +1,509 @@
+//! Routing digests for guided (digest-pruned) search.
+//!
+//! Blind TTL flooding asks every reachable peer; the E9 tables put that
+//! at ~4,000 messages per query on a 2k-peer overlay. The guided-search
+//! literature (EGSP's guided protocol, ATLAAS-P2P's discovery layer,
+//! attenuated Bloom filters in general) recovers near-flooding recall at
+//! a fraction of the cost by giving each peer a compact, conservative
+//! summary of what is reachable *through* each neighbor, and forwarding
+//! a query only toward neighbors whose summary plausibly matches.
+//!
+//! This module provides that layer for the simulated substrates:
+//!
+//! * [`RoutingDigest`] — a Bloom-filter bitset over `(community, term)`
+//!   pairs, where terms are the store-layer's interned vocabulary
+//!   (keyword tokens and normalized exact values, via
+//!   [`up2p_store::MetadataIndex::for_each_live_term`]). Digests hash
+//!   term *strings*, not symbol ids: interner symbols are private to each
+//!   index, strings are the wire-stable identity.
+//! * [`RouteTable`] — the per-directed-edge *attenuated* digest table: for
+//!   the edge `q → p`, layer `d` summarizes everything reachable from `p`
+//!   through `q` within `d` hops. Layers are monotone
+//!   (`layer d ⊇ layer d-1`), so the first matching layer gives a
+//!   conservative minimum depth toward a match.
+//! * [`DigestConfig`] — the knobs: layer count (radius), bits per layer,
+//!   guided fanout and the width of the random-walk fallback.
+//!
+//! The digest answers "may a match exist behind this neighbor?" — never
+//! "does one exist". False positives only cost messages; false negatives
+//! are impossible for fresh digests because every query predicate is
+//! mapped to a *weaker* digest predicate (see [`RoutingDigest::may_match`]).
+//! Hits themselves always come from real [`IndexNode`] evaluation at the
+//! visited peer, so a stale digest can waste messages but can never
+//! resurrect an unpublished record (property-tested).
+
+use crate::index_node::IndexNode;
+use crate::peer::PeerId;
+use crate::topology::Topology;
+use std::collections::{BTreeSet, HashMap};
+use up2p_store::{Query, ValuePattern};
+
+/// Tuning knobs for the routing-digest layer. `enabled: false` (the
+/// default) keeps every substrate byte-for-byte on its blind-flooding
+/// behavior; experiments opt in explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestConfig {
+    /// Consult digests to prune forwarding (guided search).
+    pub enabled: bool,
+    /// Attenuation radius: number of layers kept per directed edge
+    /// (layer `d` covers the subtree within `d` hops).
+    pub radius: u8,
+    /// log2 of the bit width of each layer (15 → 32,768 bits = 4 KiB).
+    pub log2_bits: u8,
+    /// Maximum neighbors a guided query is forwarded to per hop.
+    pub fanout: usize,
+    /// Random walkers spawned at the origin when no neighbor digest
+    /// matches (mid-path dead ends continue as a single walker).
+    pub walk_width: usize,
+}
+
+impl Default for DigestConfig {
+    fn default() -> Self {
+        DigestConfig { enabled: false, radius: 5, log2_bits: 15, fanout: 2, walk_width: 2 }
+    }
+}
+
+impl DigestConfig {
+    /// Guided search with the default sizing (radius 5, 4 KiB layers,
+    /// fanout 2, two fallback walkers).
+    pub fn guided() -> DigestConfig {
+        DigestConfig { enabled: true, ..DigestConfig::default() }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// splitmix64 finalizer: spreads the FNV accumulator over all 64 bits so
+/// the two Bloom probes (low word, high word) are independent.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash of a digest entry: `term_hash(c, None)` marks the community as
+/// present, `term_hash(c, Some(t))` marks one term of that community.
+/// The community is folded in so the same word in two communities sets
+/// different bits (community scoping survives digest compression).
+pub fn term_hash(community: &str, term: Option<&str>) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, community.as_bytes());
+    h = fnv1a(h, &[0xff]); // separator: ("ab","c") must differ from ("a","bc")
+    if let Some(t) = term {
+        h = fnv1a(h, t.as_bytes());
+    }
+    mix(h)
+}
+
+/// A Bloom-filter bitset over `(community, term)` hashes. Two probes per
+/// entry (double hashing); the bit width is fixed at construction and
+/// must match for unions and layer comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingDigest {
+    words: Box<[u64]>,
+}
+
+impl RoutingDigest {
+    /// Creates an empty digest of `1 << log2_bits` bits (minimum 64).
+    pub fn new(log2_bits: u8) -> RoutingDigest {
+        let words = 1usize << log2_bits.clamp(6, 30).saturating_sub(6);
+        RoutingDigest { words: vec![0u64; words].into_boxed_slice() }
+    }
+
+    /// Bit capacity (always a power of two).
+    pub fn bit_len(&self) -> u64 {
+        self.words.len() as u64 * 64
+    }
+
+    /// Number of set bits — the fill level experiments report.
+    pub fn ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn probes(&self, h: u64) -> [usize; 2] {
+        let mask = self.bit_len() - 1;
+        let h2 = (h >> 32) | 1; // odd stride: visits every bit of a pow-2 table
+        [(h & mask) as usize, (h.wrapping_add(h2) & mask) as usize]
+    }
+
+    /// Sets the bits for one entry hash.
+    pub fn insert(&mut self, h: u64) {
+        for bit in self.probes(h) {
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// May the entry be present? (No false negatives.)
+    pub fn contains(&self, h: u64) -> bool {
+        self.probes(h).into_iter().all(|bit| self.words[bit / 64] >> (bit % 64) & 1 == 1)
+    }
+
+    /// ORs `other` into `self`, returning whether any bit changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two digests have different bit widths.
+    pub fn union_with(&mut self, other: &RoutingDigest) -> bool {
+        assert_eq!(self.words.len(), other.words.len(), "digest width mismatch");
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *w | o;
+            changed |= merged != *w;
+            *w = merged;
+        }
+        changed
+    }
+
+    /// Folds one node's share table into the digest: the community
+    /// presence bit plus every live indexed term of that community.
+    pub fn add_node(&mut self, node: &IndexNode) {
+        node.for_each_digest_term(|community, term| self.insert(term_hash(community, term)));
+    }
+
+    /// Conservative query evaluation: `true` whenever *any* record
+    /// matching `query` in `community` could sit behind this digest.
+    ///
+    /// Every query form maps to a predicate at least as weak as its real
+    /// index semantics, so a fresh digest never yields a false negative:
+    ///
+    /// * `Keyword` → the token's term bit (field restrictions ignored),
+    /// * `Match` with an `Exact` pattern → the normalized value's term
+    ///   bit (exact patterns are pre-normalized by the query builders),
+    /// * `And` → all branches plausible, `Or` → any branch plausible
+    ///   (an empty `Or` matches nothing, exactly like the evaluator),
+    /// * everything else (`All`, `Not`, wildcard/`Present` patterns) →
+    ///   community presence alone.
+    pub fn may_match(&self, community: &str, query: &Query) -> bool {
+        self.contains(term_hash(community, None)) && self.terms_plausible(community, query)
+    }
+
+    fn terms_plausible(&self, community: &str, query: &Query) -> bool {
+        match query {
+            Query::All | Query::Not(_) | Query::Match { pattern: ValuePattern::Prefix(_), .. }
+            | Query::Match { pattern: ValuePattern::Suffix(_), .. }
+            | Query::Match { pattern: ValuePattern::Contains(_), .. }
+            | Query::Match { pattern: ValuePattern::Present, .. } => true,
+            Query::And(qs) => qs.iter().all(|q| self.terms_plausible(community, q)),
+            Query::Or(qs) => qs.iter().any(|q| self.terms_plausible(community, q)),
+            Query::Keyword { word, .. } => self.contains(term_hash(community, Some(word))),
+            Query::Match { pattern: ValuePattern::Exact(value), .. } => {
+                self.contains(term_hash(community, Some(value)))
+            }
+        }
+    }
+}
+
+/// Per-directed-edge attenuated digest table for one overlay.
+///
+/// For each directed edge `q → p` the table holds `radius` monotone
+/// layers: layer 1 is `q`'s own share table; layer `d` additionally
+/// unions layer `d-1` of every edge `r → q` with `r ≠ p` — everything
+/// reachable from `p` through `q` in at most `d` hops (echoes around
+/// cycles only ever *add* bits, keeping the no-false-negative direction).
+///
+/// Maintenance is lazy and batched, as a real servent would piggyback
+/// digest refreshes on its keep-alives: publish/unpublish marks the
+/// node dirty, and the next guided search triggers [`RouteTable::refresh`],
+/// which rebuilds dirty local digests, repropagates layers, and reports
+/// how many `DigestRequest`/`DigestPush` messages the exchange cost
+/// (one push per directed edge whose advertisement actually changed).
+/// Peer death/revival deliberately does *not* mark anything dirty —
+/// digests go stale under churn, and the random-walk fallback plus real
+/// per-peer evaluation keep that safe.
+#[derive(Debug)]
+pub struct RouteTable {
+    config: DigestConfig,
+    /// Per-node local digest (own share table only).
+    local: Vec<RoutingDigest>,
+    /// Directed edge `(advertiser q, receiver p)` → attenuated layers,
+    /// nearest subtree first (`layers[d-1]` covers depth `d`).
+    edges: HashMap<(u32, u32), Vec<RoutingDigest>>,
+    /// Nodes whose share table changed since the last refresh.
+    dirty: BTreeSet<u32>,
+    built: bool,
+}
+
+impl RouteTable {
+    /// Creates an empty table; nothing is allocated until the first
+    /// [`RouteTable::refresh`].
+    pub fn new(config: DigestConfig) -> RouteTable {
+        RouteTable { config, local: Vec::new(), edges: HashMap::new(), dirty: BTreeSet::new(), built: false }
+    }
+
+    /// The configuration the table was built with.
+    pub fn config(&self) -> DigestConfig {
+        self.config
+    }
+
+    /// Marks one node's local digest as out of date (after
+    /// publish/unpublish).
+    pub fn mark_dirty(&mut self, node: u32) {
+        self.dirty.insert(node);
+    }
+
+    /// Does the next guided search need a refresh first?
+    pub fn needs_refresh(&self) -> bool {
+        !self.built || !self.dirty.is_empty()
+    }
+
+    /// Rebuilds local digests (all on first build, dirty nodes after)
+    /// from `local_of` and repropagates the attenuated layers across
+    /// `topo`. Returns `(requests, pushes)`: `DigestRequest` messages
+    /// (one per directed edge, first exchange only) and `DigestPush`
+    /// messages (one per directed edge whose advertised layers changed).
+    pub fn refresh<F>(&mut self, topo: &Topology, mut local_of: F) -> (u64, u64)
+    where
+        F: FnMut(u32) -> RoutingDigest,
+    {
+        let n = topo.len() as u32;
+        let first = !self.built;
+        if first {
+            self.local = (0..n).map(&mut local_of).collect();
+        } else {
+            for node in std::mem::take(&mut self.dirty) {
+                if (node as usize) < self.local.len() {
+                    self.local[node as usize] = local_of(node);
+                }
+            }
+        }
+        self.dirty.clear();
+        self.built = true;
+
+        // layer 1: each advertiser's own digest
+        let mut edges: HashMap<(u32, u32), Vec<RoutingDigest>> = HashMap::new();
+        let mut keys: Vec<(u32, u32)> = Vec::new();
+        for p in 0..n {
+            for q in topo.neighbors(PeerId(p)) {
+                keys.push((q.0, p));
+            }
+        }
+        for &(q, p) in &keys {
+            edges.insert((q, p), vec![self.local[q as usize].clone()]);
+        }
+        // layer d = layer d-1 ∪ neighbors' layer d-1 (monotone closure);
+        // pushes are deferred so every read this round sees layer d-1
+        for _ in 1..self.config.radius.max(1) {
+            let mut next: Vec<RoutingDigest> = Vec::with_capacity(keys.len());
+            for &(q, p) in &keys {
+                let mut layer = edges[&(q, p)].last().expect("layer 1 present").clone();
+                for r in topo.neighbors(PeerId(q)) {
+                    if r.0 == p {
+                        continue;
+                    }
+                    if let Some(upstream) = edges.get(&(r.0, q)) {
+                        layer.union_with(upstream.last().expect("layer 1 present"));
+                    }
+                }
+                next.push(layer);
+            }
+            for (key, layer) in keys.iter().zip(next) {
+                edges.get_mut(key).expect("key just inserted").push(layer);
+            }
+        }
+
+        let requests = if first { keys.len() as u64 } else { 0 };
+        let pushes = keys
+            .iter()
+            .filter(|key| first || self.edges.get(key) != edges.get(key))
+            .count() as u64;
+        self.edges = edges;
+        (requests, pushes)
+    }
+
+    /// Minimum plausible depth of a match for `query` behind the edge
+    /// `advertiser → receiver`: the 1-based index of the first layer
+    /// whose digest may match, probing at most `min(max_depth, radius)`
+    /// layers. `None` means "no match within reach through that
+    /// neighbor" (or the edge is unknown).
+    pub fn min_depth(
+        &self,
+        advertiser: u32,
+        receiver: u32,
+        community: &str,
+        query: &Query,
+        max_depth: u8,
+    ) -> Option<u8> {
+        let layers = self.edges.get(&(advertiser, receiver))?;
+        let cap = (max_depth.min(self.config.radius) as usize).min(layers.len());
+        layers[..cap]
+            .iter()
+            .position(|l| l.may_match(community, query))
+            .map(|i| i as u8 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ResourceRecord;
+
+    fn node_with(entries: &[(&str, &str, &str)]) -> IndexNode {
+        let mut node = IndexNode::new();
+        for (i, (community, field, value)) in entries.iter().enumerate() {
+            node.insert(
+                PeerId(0),
+                &ResourceRecord::new(
+                    format!("k{i}"),
+                    *community,
+                    vec![(field.to_string(), value.to_string())],
+                ),
+            );
+        }
+        node
+    }
+
+    #[test]
+    fn insert_contains_no_false_negatives() {
+        let mut d = RoutingDigest::new(10);
+        let entries: Vec<u64> =
+            (0..200).map(|i| term_hash("c", Some(&format!("term{i}")))).collect();
+        for &h in &entries {
+            d.insert(h);
+        }
+        assert!(entries.iter().all(|&h| d.contains(h)), "bloom filters never false-negative");
+        assert!(d.ones() > 0 && d.ones() <= 400);
+    }
+
+    #[test]
+    fn union_is_monotone_and_reports_change() {
+        let mut a = RoutingDigest::new(8);
+        let mut b = RoutingDigest::new(8);
+        a.insert(term_hash("c", Some("apple")));
+        b.insert(term_hash("c", Some("banana")));
+        assert!(a.union_with(&b), "new bits arrived");
+        assert!(!a.union_with(&b), "idempotent");
+        assert!(a.contains(term_hash("c", Some("apple"))));
+        assert!(a.contains(term_hash("c", Some("banana"))));
+    }
+
+    #[test]
+    #[should_panic(expected = "digest width mismatch")]
+    fn union_rejects_width_mismatch() {
+        let mut a = RoutingDigest::new(8);
+        a.union_with(&RoutingDigest::new(9));
+    }
+
+    #[test]
+    fn may_match_is_weaker_than_real_evaluation() {
+        let node = node_with(&[
+            ("songs", "track/title", "Abstract Factory Blues"),
+            ("songs", "track/genre", "jazz"),
+            ("patterns", "pattern/name", "Observer"),
+        ]);
+        let mut d = RoutingDigest::new(12);
+        d.add_node(&node);
+        // everything the node can answer is plausible
+        assert!(d.may_match("songs", &Query::any_keyword("factory")));
+        assert!(d.may_match("songs", &Query::eq("track/genre", "jazz")));
+        assert!(d.may_match("patterns", &Query::keyword("name", "observer")));
+        assert!(d.may_match("songs", &Query::All));
+        assert!(d.may_match(
+            "songs",
+            &Query::and([Query::eq("track/genre", "jazz"), Query::any_keyword("blues")])
+        ));
+        // normalized multi-word exact values are digest terms too
+        assert!(d.may_match("songs", &Query::eq("track/title", "abstract factory blues")));
+        // absent community / absent conjunct prune (true negatives)
+        assert!(!d.may_match("videos", &Query::All));
+        assert!(!d.may_match(
+            "songs",
+            &Query::and([Query::eq("track/genre", "jazz"), Query::any_keyword("zzzunseen")])
+        ));
+        // an empty Or matches nothing, like the evaluator
+        assert!(!d.may_match("songs", &Query::Or(Vec::new())));
+        // wildcard patterns cannot be checked term-wise: community bit only
+        assert!(d.may_match(
+            "songs",
+            &Query::Match { field: "track/title".into(), pattern: ValuePattern::Prefix("abs".into()) }
+        ));
+    }
+
+    #[test]
+    fn digest_tracks_unpublish_on_rebuild() {
+        let mut node = node_with(&[("c", "o/name", "ephemeral")]);
+        let mut before = RoutingDigest::new(12);
+        before.add_node(&node);
+        assert!(before.may_match("c", &Query::any_keyword("ephemeral")));
+        node.remove(PeerId(0), "k0");
+        let mut after = RoutingDigest::new(12);
+        after.add_node(&node);
+        assert!(!after.may_match("c", &Query::any_keyword("ephemeral")));
+        assert!(!after.may_match("c", &Query::All), "empty community drops its bit");
+    }
+
+    #[test]
+    fn route_table_layers_give_min_depth_on_a_line() {
+        // 0 - 1 - 2 - 3: a record at 3 must appear at depth 3 behind the
+        // edge 1 → 0, depth 2 behind 2 → 1, depth 1 behind 3 → 2
+        let mut topo = Topology::empty(4);
+        for i in 0..3u32 {
+            topo.connect(PeerId(i), PeerId(i + 1));
+        }
+        let mut nodes: Vec<IndexNode> = (0..4).map(|_| IndexNode::new()).collect();
+        nodes[3].insert(
+            PeerId(3),
+            &ResourceRecord::new("k", "c", vec![("o/name".to_string(), "needle".to_string())]),
+        );
+        let mut table = RouteTable::new(DigestConfig { enabled: true, ..DigestConfig::default() });
+        let (requests, pushes) = table.refresh(&topo, |p| {
+            let mut d = RoutingDigest::new(12);
+            d.add_node(&nodes[p as usize]);
+            d
+        });
+        assert_eq!(requests, 6, "one request per directed edge");
+        assert_eq!(pushes, 6, "first exchange pushes every edge");
+        let q = Query::any_keyword("needle");
+        assert_eq!(table.min_depth(1, 0, "c", &q, 7), Some(3));
+        assert_eq!(table.min_depth(2, 1, "c", &q, 7), Some(2));
+        assert_eq!(table.min_depth(3, 2, "c", &q, 7), Some(1));
+        // looking back toward the empty side finds nothing
+        assert_eq!(table.min_depth(0, 1, "c", &q, 7), None);
+        // a ttl too small to reach the record prunes the probe
+        assert_eq!(table.min_depth(1, 0, "c", &q, 2), None);
+    }
+
+    #[test]
+    fn refresh_pushes_only_changed_advertisements() {
+        let mut topo = Topology::empty(3);
+        topo.connect(PeerId(0), PeerId(1));
+        topo.connect(PeerId(1), PeerId(2));
+        let mut nodes: Vec<IndexNode> = (0..3).map(|_| IndexNode::new()).collect();
+        let build = |nodes: &[IndexNode], p: u32| {
+            let mut d = RoutingDigest::new(12);
+            d.add_node(&nodes[p as usize]);
+            d
+        };
+        let mut table = RouteTable::new(DigestConfig { enabled: true, ..DigestConfig::default() });
+        table.refresh(&topo, |p| build(&nodes, p));
+        // no change → no pushes, no requests
+        table.mark_dirty(0);
+        assert!(table.needs_refresh());
+        assert_eq!(table.refresh(&topo, |p| build(&nodes, p)), (0, 0));
+        // a publish at 0 changes 0's advertisement to 1 and (through the
+        // attenuated layers) 1's advertisement to 2 — but not the edges
+        // pointing back toward 0
+        nodes[0].insert(
+            PeerId(0),
+            &ResourceRecord::new("k", "c", vec![("o/name".to_string(), "fresh".to_string())]),
+        );
+        table.mark_dirty(0);
+        let (requests, pushes) = table.refresh(&topo, |p| build(&nodes, p));
+        assert_eq!(requests, 0);
+        assert_eq!(pushes, 2, "0→1 and 1→2 changed; 1→0 and 2→1 did not");
+        assert_eq!(
+            table.min_depth(1, 2, "c", &Query::any_keyword("fresh"), 7),
+            Some(2),
+            "the new record is visible two hops away after the refresh"
+        );
+    }
+}

@@ -8,7 +8,14 @@
 //! experiment E6 measures. Each peer's share table is an [`IndexNode`],
 //! so the per-node evaluation a query pays at every visited peer is a
 //! posting-list lookup, not a scan of the peer's records.
+//!
+//! With [`DigestConfig::enabled`] the substrate switches to *guided*
+//! search (experiment E10): forwarding consults per-neighbor
+//! [`crate::RouteTable`] digests, follows only the most promising
+//! neighbors, stops at the first peer with local hits, and falls back to
+//! TTL'd random walkers when no digest matches.
 
+use crate::digest::{DigestConfig, RouteTable, RoutingDigest};
 use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, SharedFields, Time, DEFAULT_TTL};
@@ -17,6 +24,8 @@ use crate::sim::EventQueue;
 use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::topology::Topology;
 use crate::traits::PeerNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use up2p_store::Query;
 
@@ -28,12 +37,27 @@ pub struct FloodingConfig {
     /// Drop duplicate query arrivals (Gnutella's GUID cache). Disabling
     /// this is the E6 ablation `flooding_no_dedup`.
     pub dedup: bool,
+    /// Routing-digest layer; `enabled: true` switches searches from
+    /// blind flooding to guided forwarding (E10).
+    pub digests: DigestConfig,
 }
 
 impl Default for FloodingConfig {
     fn default() -> Self {
-        FloodingConfig { ttl: DEFAULT_TTL, dedup: true }
+        FloodingConfig { ttl: DEFAULT_TTL, dedup: true, digests: DigestConfig::default() }
     }
+}
+
+/// How a query copy propagates (guided search only; blind flooding uses
+/// `Flood` throughout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Propagation {
+    /// Forward to every neighbor except the sender (baseline).
+    Flood,
+    /// Forward along digest-selected neighbors, capped at the fanout.
+    Guided,
+    /// Random-walk fallback: no digest matched, keep one walker alive.
+    Walk,
 }
 
 /// The flooding (Gnutella) substrate.
@@ -46,6 +70,11 @@ pub struct FloodingNetwork {
     latency: Box<dyn LatencyModel + Send>,
     config: FloodingConfig,
     stats: NetStats,
+    /// Per-directed-edge attenuated digests (guided search only).
+    routes: RouteTable,
+    /// Seeded source for the random-walk fallback; part of the
+    /// deterministic state, not wall-clock randomness.
+    walk_rng: StdRng,
 }
 
 impl std::fmt::Debug for FloodingNetwork {
@@ -65,6 +94,7 @@ struct QueryEvent {
     to: PeerId,
     path: Vec<PeerId>,
     ttl: u8,
+    mode: Propagation,
 }
 
 impl FloodingNetwork {
@@ -83,6 +113,8 @@ impl FloodingNetwork {
             latency,
             config,
             stats: NetStats::new(),
+            routes: RouteTable::new(config.digests),
+            walk_rng: StdRng::seed_from_u64(0xd16e_57ed ^ n as u64),
         }
     }
 
@@ -110,6 +142,82 @@ impl FloodingNetwork {
         });
         matches
     }
+
+    /// Rebuilds dirty routing digests and repropagates the attenuated
+    /// layers, counting the `DigestRequest`/`DigestPush` exchange the
+    /// refresh costs. A no-op when guided search is disabled or nothing
+    /// changed since the last refresh; guided searches call this lazily,
+    /// the way a servent batches digest updates onto its keep-alives.
+    pub fn refresh_digests(&mut self) {
+        let cfg = self.config.digests;
+        if !cfg.enabled || !self.routes.needs_refresh() {
+            return;
+        }
+        let shared = &self.shared;
+        let (requests, pushes) = self.routes.refresh(&self.topology, |p| {
+            let mut d = RoutingDigest::new(cfg.log2_bits);
+            d.add_node(&shared[p as usize]);
+            d
+        });
+        self.stats.sent_n(MsgKind::DigestRequest, requests);
+        self.stats.sent_n(MsgKind::DigestPush, pushes);
+    }
+
+    /// Forwards one guided query copy from `from`: digest-matching
+    /// neighbors (closest plausible match first, capped at the fanout)
+    /// when any exist, else up to `walk_width` random walkers so stale
+    /// or saturated digests degrade to extra messages, not misses.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_guided(
+        &mut self,
+        t: Time,
+        from: PeerId,
+        sender: Option<PeerId>,
+        path: &[PeerId],
+        ttl: u8,
+        community: &str,
+        query: &Query,
+        walk_width: usize,
+        outcome: &mut SearchOutcome,
+        queue: &mut EventQueue<QueryEvent>,
+    ) {
+        if ttl == 0 {
+            return;
+        }
+        let mut candidates: Vec<(u8, PeerId)> = self
+            .topology
+            .neighbors(from)
+            .filter(|&nb| Some(nb) != sender)
+            .filter_map(|nb| {
+                self.routes.min_depth(nb.0, from.0, community, query, ttl).map(|d| (d, nb))
+            })
+            .collect();
+        candidates.sort_unstable();
+        let targets: Vec<(PeerId, Propagation)> = if candidates.is_empty() {
+            let mut options: Vec<PeerId> =
+                self.topology.neighbors(from).filter(|&nb| Some(nb) != sender).collect();
+            let mut walkers = Vec::new();
+            while walkers.len() < walk_width && !options.is_empty() {
+                let i = self.walk_rng.gen_range(0..options.len());
+                walkers.push((options.swap_remove(i), Propagation::Walk));
+            }
+            walkers
+        } else {
+            candidates
+                .into_iter()
+                .take(self.config.digests.fanout.max(1))
+                .map(|(_, nb)| (nb, Propagation::Guided))
+                .collect()
+        };
+        for (nb, mode) in targets {
+            self.stats.sent(MsgKind::Query);
+            outcome.messages += 1;
+            let at = t + self.latency.delay(from, nb);
+            let mut next_path = path.to_vec();
+            next_path.push(from);
+            queue.push(at, QueryEvent { to: nb, path: next_path, ttl: ttl - 1, mode });
+        }
+    }
 }
 
 impl PeerNetwork for FloodingNetwork {
@@ -136,12 +244,18 @@ impl PeerNetwork for FloodingNetwork {
         // republishing a key replaces the peer's own record (upsert).
         if let Some(node) = self.shared.get_mut(provider.index()) {
             node.upsert(provider, &record);
+            if self.config.digests.enabled {
+                self.routes.mark_dirty(provider.0);
+            }
         }
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
         if let Some(node) = self.shared.get_mut(provider.index()) {
             node.remove(provider, key);
+            if self.config.digests.enabled {
+                self.routes.mark_dirty(provider.0);
+            }
         }
     }
 
@@ -150,6 +264,10 @@ impl PeerNetwork for FloodingNetwork {
         let mut outcome = SearchOutcome::default();
         if !self.is_alive(origin) {
             return outcome;
+        }
+        let guided = self.config.digests.enabled;
+        if guided {
+            self.refresh_digests();
         }
         let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
         // local results cost nothing (the servent consults its own
@@ -165,12 +283,36 @@ impl PeerNetwork for FloodingNetwork {
         let mut seen: HashSet<PeerId> = HashSet::new();
         seen.insert(origin);
         if self.config.ttl > 0 {
-            let neighbors: Vec<PeerId> = self.topology.neighbors(origin).collect();
-            for nb in neighbors {
-                self.stats.sent(MsgKind::Query);
-                outcome.messages += 1;
-                let at = self.latency.delay(origin, nb);
-                queue.push(at, QueryEvent { to: nb, path: vec![origin], ttl: self.config.ttl - 1 });
+            if guided {
+                // frontier stop: local hits already satisfy the query, so
+                // a guided search pays no network messages at all
+                if outcome.hits.is_empty() {
+                    self.forward_guided(
+                        0,
+                        origin,
+                        None,
+                        &[],
+                        self.config.ttl,
+                        community,
+                        query,
+                        self.config.digests.walk_width,
+                        &mut outcome,
+                        &mut queue,
+                    );
+                }
+            } else {
+                let neighbors: Vec<PeerId> = self.topology.neighbors(origin).collect();
+                for nb in neighbors {
+                    self.stats.sent(MsgKind::Query);
+                    outcome.messages += 1;
+                    let at = self.latency.delay(origin, nb);
+                    queue.push(at, QueryEvent {
+                        to: nb,
+                        path: vec![origin],
+                        ttl: self.config.ttl - 1,
+                        mode: Propagation::Flood,
+                    });
+                }
             }
         }
 
@@ -182,11 +324,22 @@ impl PeerNetwork for FloodingNetwork {
                 self.stats.dropped += 1;
                 continue;
             }
-            if self.config.dedup && !seen.insert(ev.to) {
-                continue; // duplicate query arrival, dropped by GUID cache
+            let first_visit = seen.insert(ev.to);
+            match ev.mode {
+                // duplicate query arrival, dropped by the GUID cache
+                Propagation::Flood if self.config.dedup && !first_visit => continue,
+                // a guided copy is always deduplicated; a walker survives
+                // revisits (it merely skips re-evaluating the share table)
+                Propagation::Guided if !first_visit => continue,
+                _ => {}
             }
             // evaluate against this peer's share-table index
-            let matches = self.local_matches(ev.to, community, query);
+            let evaluate = first_visit || ev.mode == Propagation::Flood;
+            let matches = if evaluate {
+                self.local_matches(ev.to, community, query)
+            } else {
+                Vec::new()
+            };
             if !matches.is_empty() {
                 // QueryHit routes back along the reverse path: one message
                 // per edge, arriving after the summed reverse delays
@@ -210,10 +363,18 @@ impl PeerNetwork for FloodingNetwork {
                         );
                     }
                 }
+                if ev.mode != Propagation::Flood {
+                    // frontier stop: this copy found results, stop paying
+                    // for forwarding (other copies keep exploring)
+                    continue;
+                }
             }
-            // forward to all neighbors except the immediate sender
-            if ev.ttl > 0 {
-                let sender = *ev.path.last().expect("path never empty");
+            if ev.ttl == 0 {
+                continue;
+            }
+            let sender = *ev.path.last().expect("path never empty");
+            if ev.mode == Propagation::Flood {
+                // forward to all neighbors except the immediate sender
                 let neighbors: Vec<PeerId> = self.topology.neighbors(ev.to).collect();
                 for nb in neighbors {
                     if nb == sender {
@@ -224,8 +385,29 @@ impl PeerNetwork for FloodingNetwork {
                     let at = t + self.latency.delay(ev.to, nb);
                     let mut path = ev.path.clone();
                     path.push(ev.to);
-                    queue.push(at, QueryEvent { to: nb, path, ttl: ev.ttl - 1 });
+                    queue.push(at, QueryEvent {
+                        to: nb,
+                        path,
+                        ttl: ev.ttl - 1,
+                        mode: Propagation::Flood,
+                    });
                 }
+            } else {
+                // guided copies and walkers re-consult the digests every
+                // hop (a walker escaping a stale region resumes guided
+                // forwarding); mid-path dead ends continue as one walker
+                self.forward_guided(
+                    t,
+                    ev.to,
+                    Some(sender),
+                    &ev.path,
+                    ev.ttl,
+                    community,
+                    query,
+                    1,
+                    &mut outcome,
+                    &mut queue,
+                );
             }
         }
 
@@ -238,11 +420,17 @@ impl PeerNetwork for FloodingNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
+        if !self.is_alive(origin) {
+            // a dead peer cannot send: the request never leaves the origin
+            return RetrieveOutcome::Unavailable;
+        }
         self.stats.sent(MsgKind::Retrieve);
-        let available = self.is_alive(origin)
-            && self.is_alive(provider)
-            && self.shared[provider.index()].has_provider(key, provider);
-        if !available {
+        if !self.is_alive(provider) {
+            self.stats.dropped += 1;
+            return RetrieveOutcome::Unavailable;
+        }
+        if !self.shared[provider.index()].has_provider(key, provider) {
+            self.stats.sent(MsgKind::RetrieveFail);
             return RetrieveOutcome::Unavailable;
         }
         self.stats.sent(MsgKind::RetrieveOk);
@@ -299,7 +487,7 @@ mod tests {
         let mut net = FloodingNetwork::new(
             t,
             Box::new(ConstantLatency(1_000)),
-            FloodingConfig { ttl: 2, dedup: true },
+            FloodingConfig { ttl: 2, ..FloodingConfig::default() },
         );
         net.publish(PeerId(5), record("far", "x"));
         net.publish(PeerId(2), record("near", "x"));
@@ -331,7 +519,7 @@ mod tests {
             let mut net = FloodingNetwork::new(
                 t,
                 Box::new(ConstantLatency(1_000)),
-                FloodingConfig { ttl: 4, dedup },
+                FloodingConfig { ttl: 4, dedup, ..FloodingConfig::default() },
             );
             net.publish(PeerId(3), record("k", "x"));
             let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
@@ -377,6 +565,23 @@ mod tests {
         assert!(!net.retrieve(PeerId(0), PeerId(2), "k").is_fetched());
         assert_eq!(net.stats().retrieves, 3);
         assert_eq!(net.stats().retrieves_ok, 1);
+        // per-kind accounting: every live-origin attempt sends Retrieve;
+        // a live provider without the object answers RetrieveFail; a dead
+        // provider answers nothing (the request is dropped)
+        assert_eq!(net.stats().count(MsgKind::Retrieve), 3);
+        assert_eq!(net.stats().count(MsgKind::RetrieveOk), 1);
+        assert_eq!(net.stats().count(MsgKind::RetrieveFail), 1);
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn dead_origin_retrieve_sends_no_messages() {
+        let mut net = line(3);
+        net.publish(PeerId(2), record("k", "x"));
+        net.set_alive(PeerId(0), false);
+        assert!(!net.retrieve(PeerId(0), PeerId(2), "k").is_fetched());
+        assert_eq!(net.stats().retrieves, 1, "the attempt is still counted");
+        assert_eq!(net.stats().messages, 0, "a dead peer cannot send");
     }
 
     #[test]
@@ -423,5 +628,119 @@ mod tests {
             FloodingNetwork::new(t, Box::new(ConstantLatency(1_000)), FloodingConfig::default());
         let out = net.search(PeerId(0), "c", &Query::any_keyword("nothing"));
         assert!(out.messages <= edges * 2, "{} > {}", out.messages, edges * 2);
+    }
+
+    fn guided_line(n: usize) -> FloodingNetwork {
+        let mut t = Topology::empty(n);
+        for i in 0..n - 1 {
+            t.connect(PeerId(i as u32), PeerId(i as u32 + 1));
+        }
+        let config =
+            FloodingConfig { digests: DigestConfig::guided(), ..FloodingConfig::default() };
+        FloodingNetwork::new(t, Box::new(ConstantLatency(1_000)), config)
+    }
+
+    #[test]
+    fn guided_search_follows_the_digest_trail() {
+        let mut net = guided_line(6);
+        net.publish(PeerId(4), record("k", "observer"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("observer"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(4));
+        // a line has one digest-matching direction: 4 Query hops out,
+        // 4 QueryHit hops back, nothing else
+        assert_eq!(out.messages, 8);
+        assert_eq!(net.stats().count(MsgKind::Query), 4);
+        assert_eq!(net.stats().count(MsgKind::QueryHit), 4);
+        // the digest handshake was paid once, one request per directed edge
+        assert_eq!(net.stats().count(MsgKind::DigestRequest), 10);
+        assert!(net.stats().count(MsgKind::DigestPush) >= 10);
+    }
+
+    #[test]
+    fn guided_search_prunes_hopeless_directions() {
+        let mut net = guided_line(6);
+        net.publish(PeerId(1), record("k", "x"));
+        // origin 2 sees a depth-1 match toward 1 and nothing toward 3:
+        // one Query, one QueryHit, and the frontier stop ends it there
+        let out = net.search(PeerId(2), "c", &Query::any_keyword("x"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.messages, 2);
+    }
+
+    #[test]
+    fn guided_local_hits_cost_nothing() {
+        let mut net = guided_line(4);
+        net.publish(PeerId(0), record("k", "x"));
+        net.publish(PeerId(3), record("k2", "x"));
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        // frontier stop at the origin: the local hit satisfies the query
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].hops, 0);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn guided_search_refreshes_after_unpublish() {
+        let mut net = guided_line(5);
+        net.publish(PeerId(4), record("k", "x"));
+        assert_eq!(net.search(PeerId(0), "c", &Query::any_keyword("x")).hits.len(), 1);
+        net.unpublish(PeerId(4), "k");
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty(), "a removed record is never resurrected");
+        // no digest matches anywhere, so the search degrades to the
+        // fallback walkers: at most walk_width TTL'd walks, far below the
+        // flood cost (which would still cross every edge)
+        let bound = (net.config().ttl as u64) * net.config().digests.walk_width as u64;
+        assert!(out.messages <= bound, "{} > {bound}", out.messages);
+    }
+
+    #[test]
+    fn walk_fallback_survives_stale_digests() {
+        // peer death does NOT dirty the digests (a real overlay only
+        // notices through timeouts), so the guided path toward the dead
+        // provider goes stale; the walker fallback keeps exploring and
+        // the search still terminates without false hits
+        let mut net = guided_line(5);
+        net.publish(PeerId(3), record("k", "x"));
+        assert_eq!(net.search(PeerId(0), "c", &Query::any_keyword("x")).hits.len(), 1);
+        net.set_alive(PeerId(3), false);
+        let out = net.search(PeerId(0), "c", &Query::any_keyword("x"));
+        assert!(out.hits.is_empty(), "dead providers never produce hits");
+        assert!(net.stats().dropped > 0, "the stale trail ends at the dead peer");
+    }
+
+    #[test]
+    fn guided_hits_are_a_subset_of_flooding_hits() {
+        // same topology, same records; guided may return fewer hits
+        // (frontier stop) but never one flooding would not have found
+        let build = |guided: bool| {
+            let t = Topology::small_world(24, 2, 0.2, 9);
+            let digests =
+                if guided { DigestConfig::guided() } else { DigestConfig::default() };
+            let mut net = FloodingNetwork::new(
+                t,
+                Box::new(ConstantLatency(1_000)),
+                FloodingConfig { digests, ..FloodingConfig::default() },
+            );
+            for i in [3u32, 11, 19] {
+                net.publish(PeerId(i), record(&format!("k{i}"), "needle"));
+            }
+            net
+        };
+        let flood_hits: std::collections::BTreeSet<(String, PeerId)> = build(false)
+            .search(PeerId(0), "c", &Query::any_keyword("needle"))
+            .hits
+            .into_iter()
+            .map(|h| (h.key, h.provider))
+            .collect();
+        let guided = build(true).search(PeerId(0), "c", &Query::any_keyword("needle"));
+        for h in &guided.hits {
+            assert!(
+                flood_hits.contains(&(h.key.clone(), h.provider)),
+                "guided found {h:?} that flooding missed"
+            );
+        }
+        assert!(!guided.hits.is_empty(), "digests lead to at least one replica");
     }
 }

@@ -172,6 +172,27 @@ impl IndexNode {
             .map_or(0, BTreeSet::len)
     }
 
+    /// Visits every digest entry this node's share table advertises:
+    /// `(community, None)` once per community with live records, then
+    /// `(community, Some(term))` for each live interned term (keyword
+    /// token or normalized exact value) of that community — the exact
+    /// vocabulary a [`crate::RoutingDigest`] of this node hashes.
+    /// Communities whose records have all been withdrawn are skipped, so
+    /// a rebuilt digest forgets them.
+    pub fn for_each_digest_term<F>(&self, mut f: F)
+    where
+        F: FnMut(&str, Option<&str>),
+    {
+        for (name, &slot) in &self.names {
+            let sub = &self.communities[slot as usize];
+            if sub.index.is_empty() {
+                continue;
+            }
+            f(name, None);
+            sub.index.for_each_live_term(|term| f(name, Some(term)));
+        }
+    }
+
     /// Evaluates a community-scoped query against this node's records,
     /// invoking `emit(key, provider, fields)` for every (record, live
     /// provider) pair. `alive` filters the candidate set the index
@@ -318,5 +339,30 @@ mod tests {
         node.insert(PeerId(2), &record("k", "c", "changed"));
         assert_eq!(hits(&node, "c", &Query::any_keyword("original")).len(), 2);
         assert!(hits(&node, "c", &Query::any_keyword("changed")).is_empty());
+    }
+
+    #[test]
+    fn digest_terms_cover_live_communities_only() {
+        let mut node = IndexNode::new();
+        node.insert(PeerId(1), &record("k1", "patterns", "Observer Pattern"));
+        node.insert(PeerId(2), &record("k2", "songs", "Jazz"));
+        let collect = |node: &IndexNode| {
+            let mut v: Vec<(String, Option<String>)> = Vec::new();
+            node.for_each_digest_term(|c, t| v.push((c.to_string(), t.map(str::to_string))));
+            v.sort();
+            v
+        };
+        let terms = collect(&node);
+        // community markers plus tokens plus the normalized exact value
+        assert!(terms.contains(&("patterns".to_string(), None)));
+        assert!(terms.contains(&("patterns".to_string(), Some("observer".to_string()))));
+        assert!(terms.contains(&("patterns".to_string(), Some("observer pattern".to_string()))));
+        assert!(terms.contains(&("songs".to_string(), Some("jazz".to_string()))));
+        // withdrawing a community's last record drops it from the digest
+        // vocabulary even though its sub-index slot persists
+        node.remove(PeerId(1), "k1");
+        let terms = collect(&node);
+        assert!(!terms.iter().any(|(c, _)| c == "patterns"));
+        assert!(terms.contains(&("songs".to_string(), None)));
     }
 }

@@ -41,6 +41,7 @@
 
 mod centralized;
 pub mod churn;
+mod digest;
 mod flooding;
 mod index_node;
 mod latency;
@@ -54,6 +55,7 @@ mod topology;
 mod traits;
 
 pub use centralized::CentralizedNetwork;
+pub use digest::{DigestConfig, RouteTable, RoutingDigest};
 pub use flooding::{FloodingConfig, FloodingNetwork};
 pub use index_node::IndexNode;
 pub use live::LiveNetwork;
@@ -93,6 +95,9 @@ pub struct NetConfig {
     pub super_degree: usize,
     /// TTL on the super-peer overlay (FastTrack).
     pub super_ttl: u8,
+    /// Routing-digest layer (guided search) for Gnutella and FastTrack.
+    /// Disabled by default: blind flooding is the baseline behavior.
+    pub digests: DigestConfig,
 }
 
 impl Default for NetConfig {
@@ -107,6 +112,7 @@ impl Default for NetConfig {
             supers: None,
             super_degree: 2,
             super_ttl: 4,
+            digests: DigestConfig::default(),
         }
     }
 }
@@ -153,6 +159,12 @@ impl NetConfig {
         self
     }
 
+    /// Sets the routing-digest (guided search) configuration.
+    pub fn digests(mut self, digests: DigestConfig) -> NetConfig {
+        self.digests = digests;
+        self
+    }
+
     /// The super-peer count an `n`-peer FastTrack substrate gets:
     /// the explicit setting, else `ceil(sqrt(n))`, clamped to `1..=n`.
     pub fn super_count(&self, n: usize) -> usize {
@@ -177,7 +189,7 @@ pub fn build_network_with(
             Box::new(FloodingNetwork::new(
                 topo,
                 config.latency.build(n, seed),
-                FloodingConfig { ttl: config.ttl, dedup: config.dedup },
+                FloodingConfig { ttl: config.ttl, dedup: config.dedup, digests: config.digests },
             ))
         }
         ProtocolKind::FastTrack => Box::new(SuperPeerNetwork::new(
@@ -186,6 +198,7 @@ pub fn build_network_with(
                 supers: config.super_count(n),
                 super_degree: config.super_degree,
                 ttl: config.super_ttl,
+                digests: config.digests,
             },
             config.latency.build(n, seed),
             seed,

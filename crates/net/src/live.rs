@@ -14,7 +14,7 @@
 use crate::index_node::IndexNode;
 use crate::message::{ResourceRecord, SearchHit, DEFAULT_TTL};
 use crate::peer::PeerId;
-use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::topology::Topology;
 use crate::traits::PeerNetwork;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -246,19 +246,27 @@ impl PeerNetwork for LiveNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
-        let available = self.is_alive(origin)
-            && self.is_alive(provider)
-            && self
-                .peers
-                .get(provider.index())
-                .map(|p| p.shared.lock().has_provider(key, provider))
-                .unwrap_or(false);
-        if available {
-            self.stats.retrieves_ok += 1;
-            RetrieveOutcome::Fetched { provider, latency: 0 }
-        } else {
-            RetrieveOutcome::Unavailable
+        if !self.is_alive(origin) {
+            // a dead peer cannot send: the request never leaves the origin
+            return RetrieveOutcome::Unavailable;
         }
+        self.stats.sent(MsgKind::Retrieve);
+        if !self.is_alive(provider) {
+            self.stats.dropped += 1;
+            return RetrieveOutcome::Unavailable;
+        }
+        let has = self
+            .peers
+            .get(provider.index())
+            .map(|p| p.shared.lock().has_provider(key, provider))
+            .unwrap_or(false);
+        if !has {
+            self.stats.sent(MsgKind::RetrieveFail);
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent(MsgKind::RetrieveOk);
+        self.stats.retrieves_ok += 1;
+        RetrieveOutcome::Fetched { provider, latency: 0 }
     }
 
     fn stats(&self) -> &NetStats {

@@ -97,6 +97,16 @@ pub enum MessageKind {
         /// Key that failed.
         key: String,
     },
+    /// A peer advertising its attenuated routing digest layers to a
+    /// neighbor (guided search; sent on connect and whenever a refresh
+    /// changes the advertisement).
+    DigestPush {
+        /// Attenuated layers, nearest subtree first.
+        layers: Vec<crate::digest::RoutingDigest>,
+    },
+    /// A peer asking a new neighbor for its digest (the connect-time
+    /// handshake that bootstraps guided routing).
+    DigestRequest,
 }
 
 /// A message in flight.

@@ -7,6 +7,7 @@
 //! super answers a query with a posting-list lookup over its leaves'
 //! records instead of scanning them.
 
+use crate::digest::{DigestConfig, RouteTable, RoutingDigest};
 use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, Time};
@@ -30,12 +31,24 @@ pub struct SuperPeerConfig {
     pub super_degree: usize,
     /// TTL for flooding among super-peers.
     pub ttl: u8,
+    /// Routing-digest layer over the super overlay; `enabled: true`
+    /// prunes the super-peer flood the way E10's guided Gnutella does.
+    pub digests: DigestConfig,
 }
 
 impl Default for SuperPeerConfig {
     fn default() -> Self {
-        SuperPeerConfig { supers: 8, super_degree: 2, ttl: 4 }
+        SuperPeerConfig { supers: 8, super_degree: 2, ttl: 4, digests: DigestConfig::default() }
     }
+}
+
+/// How a super-overlay query copy propagates (mirrors the flooding
+/// substrate's guided-search modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Propagation {
+    Flood,
+    Guided,
+    Walk,
 }
 
 /// The super-peer (FastTrack) substrate.
@@ -53,6 +66,10 @@ pub struct SuperPeerNetwork {
     alive: Vec<bool>,
     latency: Box<dyn LatencyModel + Send>,
     stats: NetStats,
+    /// Per-directed-edge attenuated digests over the super overlay.
+    routes: RouteTable,
+    /// Seeded source for the random-walk fallback.
+    walk_rng: StdRng,
 }
 
 impl std::fmt::Debug for SuperPeerNetwork {
@@ -70,6 +87,7 @@ struct SuperQueryEvent {
     /// Super indices travelled (last = sender).
     path: Vec<usize>,
     ttl: u8,
+    mode: Propagation,
 }
 
 impl SuperPeerNetwork {
@@ -110,6 +128,8 @@ impl SuperPeerNetwork {
             alive: vec![true; n],
             latency,
             stats: NetStats::new(),
+            routes: RouteTable::new(config.digests),
+            walk_rng: StdRng::seed_from_u64(seed ^ 0x3a1f_7a1c),
         }
     }
 
@@ -125,6 +145,85 @@ impl SuperPeerNetwork {
 
     fn super_peer_id(&self, super_index: usize) -> PeerId {
         PeerId(super_index as u32)
+    }
+
+    /// Rebuilds dirty routing digests over the super overlay, counting
+    /// the `DigestRequest`/`DigestPush` exchange. Lazy, like the flooding
+    /// substrate: the next guided search triggers it.
+    pub fn refresh_digests(&mut self) {
+        let cfg = self.config.digests;
+        if !cfg.enabled || !self.routes.needs_refresh() {
+            return;
+        }
+        let indexes = &self.indexes;
+        let (requests, pushes) = self.routes.refresh(&self.super_topology, |s| {
+            let mut d = RoutingDigest::new(cfg.log2_bits);
+            d.add_node(&indexes[s as usize]);
+            d
+        });
+        self.stats.sent_n(MsgKind::DigestRequest, requests);
+        self.stats.sent_n(MsgKind::DigestPush, pushes);
+    }
+
+    /// Forwards one guided query copy across the super overlay:
+    /// digest-selected neighbors first, random walkers as the fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_guided(
+        &mut self,
+        t: Time,
+        from: usize,
+        sender: Option<usize>,
+        path: &[usize],
+        ttl: u8,
+        community: &str,
+        query: &Query,
+        walk_width: usize,
+        outcome: &mut SearchOutcome,
+        queue: &mut EventQueue<SuperQueryEvent>,
+    ) {
+        if ttl == 0 {
+            return;
+        }
+        let mut candidates: Vec<(u8, usize)> = self
+            .super_topology
+            .neighbors(PeerId(from as u32))
+            .map(|p| p.index())
+            .filter(|&nb| Some(nb) != sender)
+            .filter_map(|nb| {
+                self.routes
+                    .min_depth(nb as u32, from as u32, community, query, ttl)
+                    .map(|d| (d, nb))
+            })
+            .collect();
+        candidates.sort_unstable();
+        let targets: Vec<(usize, Propagation)> = if candidates.is_empty() {
+            let mut options: Vec<usize> = self
+                .super_topology
+                .neighbors(PeerId(from as u32))
+                .map(|p| p.index())
+                .filter(|&nb| Some(nb) != sender)
+                .collect();
+            let mut walkers = Vec::new();
+            while walkers.len() < walk_width && !options.is_empty() {
+                let i = self.walk_rng.gen_range(0..options.len());
+                walkers.push((options.swap_remove(i), Propagation::Walk));
+            }
+            walkers
+        } else {
+            candidates
+                .into_iter()
+                .take(self.config.digests.fanout.max(1))
+                .map(|(_, nb)| (nb, Propagation::Guided))
+                .collect()
+        };
+        for (nb, mode) in targets {
+            self.stats.sent(MsgKind::Query);
+            outcome.messages += 1;
+            let at = t + self.latency.delay(self.super_peer_id(from), self.super_peer_id(nb));
+            let mut next_path = path.to_vec();
+            next_path.push(from);
+            queue.push(at, SuperQueryEvent { to: nb, path: next_path, ttl: ttl - 1, mode });
+        }
     }
 }
 
@@ -157,6 +256,9 @@ impl PeerNetwork for SuperPeerNetwork {
         }
         self.owned[provider.index()].insert(record.key.clone());
         self.indexes[s].insert(provider, &record);
+        if self.config.digests.enabled {
+            self.routes.mark_dirty(s as u32);
+        }
     }
 
     fn unpublish(&mut self, provider: PeerId, key: &str) {
@@ -166,6 +268,9 @@ impl PeerNetwork for SuperPeerNetwork {
         }
         self.owned[provider.index()].remove(key);
         self.indexes[s].remove(provider, key);
+        if self.config.digests.enabled {
+            self.routes.mark_dirty(s as u32);
+        }
     }
 
     fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
@@ -173,6 +278,10 @@ impl PeerNetwork for SuperPeerNetwork {
         let mut outcome = SearchOutcome::default();
         if !self.is_alive(origin) {
             return outcome;
+        }
+        let guided = self.config.digests.enabled;
+        if guided {
+            self.refresh_digests();
         }
         let s0 = self.super_of(origin);
         let mut uplink: Time = 0;
@@ -189,7 +298,8 @@ impl PeerNetwork for SuperPeerNetwork {
 
         let mut queue: EventQueue<SuperQueryEvent> = EventQueue::new();
         let mut seen: HashSet<usize> = HashSet::new();
-        queue.push(uplink, SuperQueryEvent { to: s0, path: Vec::new(), ttl: self.config.ttl });
+        let mode = if guided { Propagation::Guided } else { Propagation::Flood };
+        queue.push(uplink, SuperQueryEvent { to: s0, path: Vec::new(), ttl: self.config.ttl, mode });
 
         let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
         let mut last_hit_at: Time = 0;
@@ -201,14 +311,19 @@ impl PeerNetwork for SuperPeerNetwork {
                 self.stats.dropped += 1;
                 continue;
             }
-            if !seen.insert(ev.to) {
-                continue;
+            let first_visit = seen.insert(ev.to);
+            match ev.mode {
+                // a walker survives revisits (it merely skips
+                // re-evaluating the index); everything else deduplicates
+                Propagation::Walk => {}
+                _ if !first_visit => continue,
+                _ => {}
             }
             // answer from this super's index: candidates come from the
             // posting lists, liveness filters only that candidate set
             let hops = ev.path.len() as u8 + u8::from(!self.is_super(origin));
             let mut local_hits: Vec<SearchHit> = Vec::new();
-            {
+            if first_visit {
                 let alive = &self.alive;
                 let hit_seen = &mut hit_seen;
                 let local_hits = &mut local_hits;
@@ -253,10 +368,18 @@ impl PeerNetwork for SuperPeerNetwork {
                         Some(outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
                     outcome.hits.push(h);
                 }
+                if ev.mode != Propagation::Flood {
+                    // frontier stop: this copy found results, stop paying
+                    // for forwarding
+                    continue;
+                }
             }
-            // flood to neighboring supers
-            if ev.ttl > 0 {
-                let sender = ev.path.last().copied();
+            if ev.ttl == 0 {
+                continue;
+            }
+            let sender = ev.path.last().copied();
+            if ev.mode == Propagation::Flood {
+                // flood to neighboring supers
                 let neighbors: Vec<usize> = self
                     .super_topology
                     .neighbors(PeerId(ev.to as u32))
@@ -274,8 +397,31 @@ impl PeerNetwork for SuperPeerNetwork {
                             .delay(self.super_peer_id(ev.to), self.super_peer_id(nb));
                     let mut path = ev.path.clone();
                     path.push(ev.to);
-                    queue.push(at, SuperQueryEvent { to: nb, path, ttl: ev.ttl - 1 });
+                    queue.push(at, SuperQueryEvent {
+                        to: nb,
+                        path,
+                        ttl: ev.ttl - 1,
+                        mode: Propagation::Flood,
+                    });
                 }
+            } else {
+                // guided copies and walkers re-consult the digests every
+                // hop; a fallback at the origin's super spawns the full
+                // walker width, mid-path dead ends continue as one walker
+                let width =
+                    if sender.is_none() { self.config.digests.walk_width } else { 1 };
+                self.forward_guided(
+                    t,
+                    ev.to,
+                    sender,
+                    &ev.path,
+                    ev.ttl,
+                    community,
+                    query,
+                    width,
+                    &mut outcome,
+                    &mut queue,
+                );
             }
         }
 
@@ -288,11 +434,17 @@ impl PeerNetwork for SuperPeerNetwork {
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
         self.stats.retrieves += 1;
+        if !self.is_alive(origin) {
+            // a dead peer cannot send: the request never leaves the origin
+            return RetrieveOutcome::Unavailable;
+        }
         self.stats.sent(MsgKind::Retrieve);
-        let available = self.is_alive(origin)
-            && self.is_alive(provider)
-            && self.owned[provider.index()].contains(key);
-        if !available {
+        if !self.is_alive(provider) {
+            self.stats.dropped += 1;
+            return RetrieveOutcome::Unavailable;
+        }
+        if !self.owned[provider.index()].contains(key) {
+            self.stats.sent(MsgKind::RetrieveFail);
             return RetrieveOutcome::Unavailable;
         }
         self.stats.sent(MsgKind::RetrieveOk);
@@ -322,7 +474,7 @@ mod tests {
     fn net(n: usize, supers: usize) -> SuperPeerNetwork {
         SuperPeerNetwork::new(
             n,
-            SuperPeerConfig { supers, super_degree: 2, ttl: 6 },
+            SuperPeerConfig { supers, super_degree: 2, ttl: 6, ..SuperPeerConfig::default() },
             Box::new(ConstantLatency(1_000)),
             42,
         )
@@ -416,5 +568,88 @@ mod tests {
     #[should_panic(expected = "invalid super count")]
     fn zero_supers_rejected() {
         net(10, 0);
+    }
+
+    #[test]
+    fn retrieve_failure_kinds_are_counted() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(10), record("k", "x"));
+        assert!(net.retrieve(PeerId(12), PeerId(10), "k").is_fetched());
+        // live provider without the object answers RetrieveFail
+        assert!(!net.retrieve(PeerId(12), PeerId(11), "k").is_fetched());
+        // dead provider: the request is dropped, no response of any kind
+        net.set_alive(PeerId(10), false);
+        assert!(!net.retrieve(PeerId(12), PeerId(10), "k").is_fetched());
+        assert_eq!(net.stats().count(MsgKind::Retrieve), 3);
+        assert_eq!(net.stats().count(MsgKind::RetrieveOk), 1);
+        assert_eq!(net.stats().count(MsgKind::RetrieveFail), 1);
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().retrieves, 3);
+        assert_eq!(net.stats().retrieves_ok, 1);
+    }
+
+    #[test]
+    fn dead_origin_retrieve_sends_no_messages() {
+        let mut net = net(20, 4);
+        net.publish(PeerId(10), record("k", "x"));
+        net.reset_stats();
+        net.set_alive(PeerId(12), false);
+        assert!(!net.retrieve(PeerId(12), PeerId(10), "k").is_fetched());
+        assert_eq!(net.stats().retrieves, 1, "the attempt is still counted");
+        assert_eq!(net.stats().messages, 0, "a dead peer cannot send");
+    }
+
+    fn guided_net(n: usize, supers: usize) -> SuperPeerNetwork {
+        SuperPeerNetwork::new(
+            n,
+            SuperPeerConfig {
+                supers,
+                super_degree: 2,
+                ttl: 6,
+                digests: DigestConfig::guided(),
+            },
+            Box::new(ConstantLatency(1_000)),
+            42,
+        )
+    }
+
+    #[test]
+    fn guided_super_flood_still_finds_records() {
+        let mut blind = net(50, 8);
+        let mut guided = guided_net(50, 8);
+        for target in [PeerId(30), PeerId(45)] {
+            blind.publish(target, record(&format!("k{target:?}"), "observer"));
+            guided.publish(target, record(&format!("k{target:?}"), "observer"));
+        }
+        let b = blind.search(PeerId(40), "c", &Query::any_keyword("observer"));
+        let g = guided.search(PeerId(40), "c", &Query::any_keyword("observer"));
+        assert!(!g.hits.is_empty(), "guided search still reaches a replica");
+        // guided hits ⊆ blind hits (same assignment seed, same records)
+        let blind_hits: BTreeSet<(String, PeerId)> =
+            b.hits.into_iter().map(|h| (h.key, h.provider)).collect();
+        for h in &g.hits {
+            assert!(blind_hits.contains(&(h.key.clone(), h.provider)), "{h:?}");
+        }
+        assert!(
+            g.messages <= b.messages,
+            "guided ({}) must not exceed the blind super flood ({})",
+            g.messages,
+            b.messages
+        );
+    }
+
+    #[test]
+    fn guided_super_search_counts_digest_traffic() {
+        let mut net = guided_net(50, 8);
+        net.publish(PeerId(30), record("k", "x"));
+        net.search(PeerId(40), "c", &Query::any_keyword("x"));
+        // one request per directed super-overlay edge, pushed once
+        let edges = 2 * net.super_topology.edge_count() as u64;
+        assert_eq!(net.stats().count(MsgKind::DigestRequest), edges);
+        assert_eq!(net.stats().count(MsgKind::DigestPush), edges);
+        // a second search with no publishes in between pays nothing new
+        net.search(PeerId(40), "c", &Query::any_keyword("x"));
+        assert_eq!(net.stats().count(MsgKind::DigestRequest), edges);
+        assert_eq!(net.stats().count(MsgKind::DigestPush), edges);
     }
 }

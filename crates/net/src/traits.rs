@@ -8,7 +8,7 @@
 
 use crate::message::ResourceRecord;
 use crate::peer::PeerId;
-use crate::stats::{NetStats, RetrieveOutcome, SearchOutcome};
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use up2p_store::Query;
 
 /// A peer-to-peer substrate offering the paper's three primitives
@@ -53,6 +53,15 @@ pub trait PeerNetwork {
 
     /// Zeroes the statistics (between experiment phases).
     fn reset_stats(&mut self);
+
+    /// Messages spent maintaining routing digests (guided search, E10):
+    /// `DigestPush` + `DigestRequest` since the last stats reset. Zero on
+    /// substrates without a digest layer or with digests disabled —
+    /// experiments report this separately from per-query traffic so the
+    /// maintenance cost of guided routing is visible, not hidden.
+    fn digest_messages(&self) -> u64 {
+        self.stats().count(MsgKind::DigestPush) + self.stats().count(MsgKind::DigestRequest)
+    }
 }
 
 /// Which substrate to build — mirrors the `protocol` field of the

@@ -6,8 +6,8 @@ use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use up2p_net::{
-    build_network, ConstantLatency, FloodingConfig, FloodingNetwork, IndexNode, PeerId,
-    PeerNetwork, ProtocolKind, ResourceRecord, Topology,
+    build_network, ConstantLatency, DigestConfig, FloodingConfig, FloodingNetwork, IndexNode,
+    PeerId, PeerNetwork, ProtocolKind, ResourceRecord, Topology,
 };
 use up2p_store::{Query, ValuePattern};
 
@@ -289,5 +289,112 @@ proptest! {
             out.hits.len()
         };
         prop_assert!(hits_with(r2) >= hits_with(r1));
+    }
+
+    /// Guided search's hit set is a subset of the flooding hit set on
+    /// random topologies, records and queries: a digest can only prune or
+    /// redirect, never invent. Tiny digests (256 bits) force heavy bloom
+    /// false positives; those cost messages, not correctness.
+    #[test]
+    fn guided_hits_subset_of_flooding(
+        n in 8usize..48,
+        k in 1usize..3,
+        seed in 0u64..200,
+        origin in 0u32..8,
+        publishes in publish_ops(),
+        query in oracle_query(),
+    ) {
+        let build = |digests: DigestConfig| {
+            let topo = Topology::small_world(n, k, 0.2, seed);
+            let mut net = FloodingNetwork::new(
+                topo,
+                Box::new(ConstantLatency(1_000)),
+                FloodingConfig { digests, ..FloodingConfig::default() },
+            );
+            for op in &publishes {
+                let record = ResourceRecord::new(&*op.key, op.community, op.fields.clone());
+                net.publish(op.provider, record);
+            }
+            net
+        };
+        let origin = PeerId(origin % n as u32);
+        let tiny = DigestConfig { log2_bits: 8, ..DigestConfig::guided() };
+        for community in COMMUNITIES {
+            let flood: BTreeSet<(String, PeerId)> = build(DigestConfig::default())
+                .search(origin, community, &query)
+                .hits
+                .into_iter()
+                .map(|h| (h.key, h.provider))
+                .collect();
+            let guided = build(tiny).search(origin, community, &query);
+            for h in &guided.hits {
+                prop_assert!(
+                    flood.contains(&(h.key.clone(), h.provider)),
+                    "guided hit ({}, {:?}) not found by flooding for {} in {}",
+                    h.key, h.provider, query, community
+                );
+            }
+        }
+    }
+
+    /// Digests go stale-but-safe: after unpublishes and peer deaths a
+    /// guided search may pay extra messages chasing stale digest trails,
+    /// but every hit it returns is a record still shared by a live peer —
+    /// removed records and dead providers are never resurrected.
+    #[test]
+    fn guided_digests_stale_but_safe(
+        n in 8usize..40,
+        seed in 0u64..200,
+        publishes in publish_ops(),
+        removals in pvec((0usize..16, 0u32..ORACLE_PEERS as u32), 0..12),
+        deaths in pvec(0u32..ORACLE_PEERS as u32, 0..4),
+        query in oracle_query(),
+    ) {
+        let topo = Topology::small_world(n, 2, 0.2, seed);
+        let mut net = FloodingNetwork::new(
+            topo,
+            Box::new(ConstantLatency(1_000)),
+            FloodingConfig { digests: DigestConfig::guided(), ..FloodingConfig::default() },
+        );
+        // per-peer share-table oracle, matching the flooding substrate's
+        // semantics: every peer shares its own copy, last publish wins
+        let mut tables: BTreeMap<(PeerId, String), ResourceRecord> = BTreeMap::new();
+        for op in &publishes {
+            let record = ResourceRecord::new(&*op.key, op.community, op.fields.clone());
+            net.publish(op.provider, record.clone());
+            tables.insert((op.provider, op.key.clone()), record);
+        }
+        // build the digests against the full record set...
+        net.search(PeerId(0), "alpha", &Query::All);
+        // ...then mutate the world under them
+        for &(key, provider) in &removals {
+            let key = format!("k{key}");
+            net.unpublish(PeerId(provider), &key);
+            tables.remove(&(PeerId(provider), key));
+        }
+        for &p in &deaths {
+            // deaths deliberately do NOT dirty the digests
+            net.set_alive(PeerId(p), false);
+        }
+        let origin = PeerId(n as u32 - 1);
+        for community in COMMUNITIES {
+            let live_oracle: BTreeSet<(String, PeerId)> = tables
+                .iter()
+                .filter(|((p, _), rec)| {
+                    net.is_alive(*p)
+                        && rec.community == community
+                        && query.matches_fields(&rec.fields)
+                })
+                .map(|((p, key), _)| (key.clone(), *p))
+                .collect();
+            let out = net.search(origin, community, &query);
+            for h in &out.hits {
+                prop_assert!(
+                    live_oracle.contains(&(h.key.clone(), h.provider)),
+                    "stale digest resurrected ({}, {:?}) for {} in {}",
+                    h.key, h.provider, query, community
+                );
+            }
+        }
     }
 }

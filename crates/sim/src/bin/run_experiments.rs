@@ -1,4 +1,4 @@
-//! Regenerates experiment tables (E1–E9).
+//! Regenerates experiment tables (E1–E10).
 //!
 //! ```text
 //! cargo run -p up2p-sim --release --bin run_experiments             # all, ASCII
@@ -6,24 +6,27 @@
 //! cargo run -p up2p-sim --release --bin run_experiments -- --smoke  # reduced sizes
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e8 --quick
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e9_search_scale --quick
+//! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e10_guided_search
 //! ```
 //!
-//! Running E8 or E9 (alone or as part of the full run) also writes the
-//! scenario's JSON metrics to `BENCH_e8_index_scale.json` /
-//! `BENCH_e9_search_scale.json` (override with `--out PATH` on a
-//! single-scenario run) — the perf-trajectory artifacts CI uploads.
+//! Running E8, E9 or E10 (alone or as part of the full run) also writes
+//! the scenario's JSON metrics to `BENCH_e8_index_scale.json` /
+//! `BENCH_e9_search_scale.json` / `BENCH_e10_guided_search.json`
+//! (override with `--out PATH` on a single-scenario run) — the
+//! perf-trajectory artifacts CI uploads.
 
 use up2p_sim::{
-    e1_pipeline, e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation,
-    e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale_report,
-    e9_search_scale_report, Scale, Table,
+    e10_guided_search_report, e1_pipeline, e2_generation, e3_discovery, e4_metadata,
+    e5_replication, e6_dedup_ablation, e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing,
+    e8_index_scale_report, e9_search_scale_report, Scale, Table,
 };
 
 const E8_REPORT_DEFAULT: &str = "BENCH_e8_index_scale.json";
 const E9_REPORT_DEFAULT: &str = "BENCH_e9_search_scale.json";
+const E10_REPORT_DEFAULT: &str = "BENCH_e10_guided_search.json";
 
 fn print_help() {
-    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E9)");
+    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E10)");
     println!();
     println!("USAGE:");
     println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
@@ -31,10 +34,10 @@ fn print_help() {
     println!("FLAGS:");
     println!("    --md              emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
     println!("    --smoke, --quick  reduced sizes for a quick sanity run");
-    println!("    --scenario NAME   run one scenario only (e1..e9; e9_search_scale works too)");
+    println!("    --scenario NAME   run one scenario only (e1..e10; e10_guided_search works too)");
     println!("    --out PATH        where the scenario JSON report goes on a single");
-    println!("                      --scenario e8/e9 run (defaults {E8_REPORT_DEFAULT} /");
-    println!("                      {E9_REPORT_DEFAULT})");
+    println!("                      --scenario e8/e9/e10 run (defaults {E8_REPORT_DEFAULT} /");
+    println!("                      {E9_REPORT_DEFAULT} / {E10_REPORT_DEFAULT})");
     println!("    -h, --help        print this help");
 }
 
@@ -56,7 +59,7 @@ fn main() {
             "--scenario" => match it.next() {
                 Some(name) => scenario = Some(name.clone()),
                 None => {
-                    eprintln!("error: --scenario needs a name (e1..e9)");
+                    eprintln!("error: --scenario needs a name (e1..e10)");
                     std::process::exit(2);
                 }
             },
@@ -103,12 +106,18 @@ fn main() {
         write_report(&report, E9_REPORT_DEFAULT);
         tables.push(table);
     };
+    let run_e10 = |tables: &mut Vec<Table>| {
+        let (table, report) = e10_guided_search_report(scale, seed);
+        write_report(&report, E10_REPORT_DEFAULT);
+        tables.push(table);
+    };
 
     let mut tables = Vec::new();
     match scenario.as_deref() {
         None => {
-            // same order as run_all, with E8/E9 run through their report
-            // paths so the JSON artifacts are written on full runs too
+            // same order as run_all, with E8/E9/E10 run through their
+            // report paths so the JSON artifacts are written on full
+            // runs too
             eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
             tables.push(e1_pipeline());
             tables.push(e2_generation(&[4, 8, 16, 32, 64]));
@@ -122,6 +131,7 @@ fn main() {
             tables.push(e7_indexing());
             run_e8(&mut tables);
             run_e9(&mut tables);
+            run_e10(&mut tables);
         }
         Some("e1") => tables.push(e1_pipeline()),
         Some("e2") => tables.push(e2_generation(&[4, 8, 16, 32, 64])),
@@ -137,8 +147,9 @@ fn main() {
         Some("e7") => tables.push(e7_indexing()),
         Some("e8" | "e8_index_scale") => run_e8(&mut tables),
         Some("e9" | "e9_search_scale") => run_e9(&mut tables),
+        Some("e10" | "e10_guided_search") => run_e10(&mut tables),
         Some(other) => {
-            eprintln!("error: unknown scenario '{other}' (expected e1..e9)");
+            eprintln!("error: unknown scenario '{other}' (expected e1..e10)");
             std::process::exit(2);
         }
     }

@@ -1,4 +1,4 @@
-//! The experiment scenarios E1–E7 (see DESIGN.md §4 for the mapping to
+//! The experiment scenarios E1–E10 (see DESIGN.md §4 for the mapping to
 //! the paper's figures and claims). Each function regenerates the
 //! table(s) recorded in EXPERIMENTS.md; all randomness is seeded, so runs
 //! are exactly reproducible.
@@ -526,7 +526,7 @@ pub fn e6_ttl_sweep(scale: Scale, seed: u64) -> Table {
         let net = FloodingNetwork::new(
             topo,
             Box::new(ConstantLatency(20_000)),
-            FloodingConfig { ttl, dedup: true },
+            FloodingConfig { ttl, dedup: true, ..FloodingConfig::default() },
         );
         let community = pattern_community();
         let mut world = World {
@@ -570,7 +570,7 @@ pub fn e6_dedup_ablation(scale: Scale, seed: u64) -> Table {
         let net = FloodingNetwork::new(
             topo,
             Box::new(ConstantLatency(20_000)),
-            FloodingConfig { ttl, dedup },
+            FloodingConfig { ttl, dedup, ..FloodingConfig::default() },
         );
         let community = pattern_community();
         let mut world = World {
@@ -623,7 +623,7 @@ pub fn e6_topologies(scale: Scale, seed: u64) -> Table {
         let net = FloodingNetwork::new(
             topo,
             Box::new(ConstantLatency(20_000)),
-            FloodingConfig { ttl: 5, dedup: true },
+            FloodingConfig { ttl: 5, dedup: true, ..FloodingConfig::default() },
         );
         let community = pattern_community();
         let mut world = World {
@@ -1145,6 +1145,109 @@ pub fn e9_search_scale_report(scale: Scale, seed: u64) -> (Table, BenchReport) {
     (t, report)
 }
 
+// ---------------------------------------------------------------------
+// E10 — guided search: routing digests vs blind flooding
+// ---------------------------------------------------------------------
+
+/// E10: the routing-digest layer (DESIGN.md §3c). Same corpus and query
+/// mix as E9, but the decentralized substrates run twice — once flooding
+/// blindly, once guided by per-neighbor routing digests — and the
+/// message bill per query is compared directly. Digest maintenance
+/// traffic (pushes + requests) is reported separately so the cost of
+/// guided routing stays visible.
+pub fn e10_guided_search(scale: Scale, seed: u64) -> Table {
+    e10_guided_search_report(scale, seed).0
+}
+
+/// E10 with the machine-readable metrics alongside the table (written to
+/// `BENCH_e10_guided_search.json` by `run_experiments`).
+pub fn e10_guided_search_report(scale: Scale, seed: u64) -> (Table, BenchReport) {
+    use up2p_net::{build_network_with, DigestConfig, NetConfig, PeerId, ResourceRecord};
+    let (peers, n, n_queries) = match scale {
+        Scale::Full => (2_000, 100_000, 2_000),
+        Scale::Smoke => (256, 10_000, 400),
+    };
+    let net_queries = scale.queries(200);
+
+    let mut t = Table::new(
+        format!("E10: guided search via routing digests ({n} records, {peers} peers)"),
+        &["substrate", "msgs/query", "success", "digest msgs", "detail"],
+    );
+    let mut report = BenchReport::new("e10_guided_search");
+    report.push("objects", n as f64);
+    report.push("peers", peers as f64);
+    report.push("queries", net_queries as f64);
+
+    // the E9 corpus, placement and query mix, so msgs/query lines up
+    // with the E9 end-to-end rows
+    let records: Vec<(ResourceRecord, PeerId)> = corpus::synthetic_track_fields(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, fields)| {
+            (
+                ResourceRecord::new(format!("track{i:06}"), "tracks", fields),
+                PeerId((i % peers) as u32),
+            )
+        })
+        .collect();
+    let queries = e9_query_mix(n_queries, seed);
+
+    let cases = [
+        ("gnutella_flood", ProtocolKind::Gnutella, false),
+        ("gnutella_guided", ProtocolKind::Gnutella, true),
+        ("fasttrack_flood", ProtocolKind::FastTrack, false),
+        ("fasttrack_guided", ProtocolKind::FastTrack, true),
+    ];
+    // each flood row precedes its guided twin; remember the baseline
+    let mut baseline_msgs = 0.0;
+    for (key, kind, guided) in cases {
+        let config = if guided {
+            NetConfig::new().digests(DigestConfig::guided())
+        } else {
+            NetConfig::new()
+        };
+        let mut net = build_network_with(kind, peers, seed, &config);
+        for (record, provider) in &records {
+            net.publish(*provider, record.clone());
+        }
+        net.reset_stats();
+        let started = Instant::now();
+        let mut with_hits = 0usize;
+        let mut msgs = Series::new();
+        for (i, q) in queries.iter().take(net_queries).enumerate() {
+            let origin = PeerId(((i * 11 + 5) % peers) as u32);
+            let out = net.search(origin, "tracks", q);
+            if !out.hits.is_empty() {
+                with_hits += 1;
+            }
+            msgs.push(out.messages as f64);
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let digest_msgs = net.digest_messages();
+        let success = with_hits as f64 / net_queries as f64;
+        report.push(&format!("{key}_msgs_per_query"), msgs.mean());
+        report.push(&format!("{key}_success_rate"), success);
+        report.push(&format!("{key}_searches_per_sec"), net_queries as f64 / secs);
+        report.push(&format!("{key}_digest_msgs"), digest_msgs as f64);
+        let detail = if guided {
+            let reduction = baseline_msgs / msgs.mean().max(f64::MIN_POSITIVE);
+            report.push(&format!("{key}_reduction"), reduction);
+            format!("{reduction:.1}x fewer msgs/query than blind flooding")
+        } else {
+            baseline_msgs = msgs.mean();
+            "blind flooding baseline".to_string()
+        };
+        t.row([
+            key.replace('_', " "),
+            fnum(msgs.mean()),
+            format!("{with_hits}/{net_queries}"),
+            digest_msgs.to_string(),
+            detail,
+        ]);
+    }
+    (t, report)
+}
+
 /// Runs every scenario at the given scale, returning all tables in
 /// EXPERIMENTS.md order.
 pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
@@ -1161,6 +1264,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
         e7_indexing(),
         e8_index_scale(scale, seed),
         e9_search_scale(scale, seed),
+        e10_guided_search(scale, seed),
     ]
 }
 
@@ -1346,6 +1450,46 @@ mod tests {
                 .map(|r| r[4].clone())
                 .filter(|d| !d.contains("searches/sec"))
                 .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn e10_guided_search_slashes_the_message_bill() {
+        let (t, report) = e10_guided_search_report(Scale::Smoke, 7);
+        // flood + guided rows for each of the two decentralized substrates
+        assert_eq!(t.rows.len(), 4);
+        for key in ["gnutella", "fasttrack"] {
+            let flood = report.get(&format!("{key}_flood_msgs_per_query")).unwrap();
+            let guided = report.get(&format!("{key}_guided_msgs_per_query")).unwrap();
+            let reduction = report.get(&format!("{key}_guided_reduction")).unwrap();
+            assert!(
+                reduction >= 10.0,
+                "{key}: guided search should cut messages ≥10x even at \
+                 smoke scale, got {flood:.1} → {guided:.1} ({reduction:.1}x)"
+            );
+            let success = report.get(&format!("{key}_guided_success_rate")).unwrap();
+            assert!(
+                success >= 0.9,
+                "{key}: guided search success fell to {success} at smoke scale"
+            );
+            // the flood rows pay no digest traffic; the guided rows do,
+            // and the maintenance bill is reported, not hidden
+            assert_eq!(report.get(&format!("{key}_flood_digest_msgs")), Some(0.0));
+            assert!(report.get(&format!("{key}_guided_digest_msgs")).unwrap() > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"e10_guided_search\""));
+        assert!(json.contains("gnutella_guided_reduction"));
+    }
+
+    #[test]
+    fn e10_is_deterministic() {
+        let run = || {
+            let t = e10_guided_search(Scale::Smoke, 11);
+            // every column except the timing-free detail text is seeded;
+            // the table carries no wall-clock cells at all
+            t.rows.clone()
         };
         assert_eq!(run(), run());
     }

@@ -65,7 +65,7 @@ fn ttl_exhaustion_hides_distant_objects() {
     let mut net = FloodingNetwork::new(
         topo,
         Box::new(ConstantLatency(10_000)),
-        FloodingConfig { ttl: 3, dedup: true },
+        FloodingConfig { ttl: 3, dedup: true, ..FloodingConfig::default() },
     );
     let mut plane = PayloadPlane::new();
     let community = pattern_community();
@@ -143,7 +143,7 @@ fn orphaned_superpeer_leaves_recover_when_super_returns() {
     use up2p::net::{SuperPeerConfig, SuperPeerNetwork};
     let mut net = SuperPeerNetwork::new(
         24,
-        SuperPeerConfig { supers: 4, super_degree: 1, ttl: 4 },
+        SuperPeerConfig { supers: 4, super_degree: 1, ttl: 4, ..SuperPeerConfig::default() },
         Box::new(ConstantLatency(10_000)),
         99,
     );

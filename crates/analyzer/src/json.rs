@@ -1,0 +1,84 @@
+//! Machine-readable findings report: a tiny hand-rolled JSON writer (the
+//! workspace takes no external dependencies). Schema:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "count": 2,
+//!   "findings": [
+//!     {"rule": "...", "file": "...", "line": 10, "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::Finding;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the findings report.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(64 + findings.len() * 96);
+    out.push_str("{\n  \"version\": 1,\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": \"");
+        escape(f.rule, &mut out);
+        out.push_str("\", \"file\": \"");
+        escape(&f.file, &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"message\": \"");
+        escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let json = findings_to_json(&[]);
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let f = Finding {
+            rule: "panic-freedom",
+            file: "a/b.rs".into(),
+            line: 7,
+            message: "call to `unwrap()` with \"quotes\"\nand newline".into(),
+        };
+        let json = findings_to_json(&[f]);
+        assert!(json.contains(r#"\"quotes\""#));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"line\": 7"));
+    }
+}

@@ -1,0 +1,5 @@
+//! The three rule families the analyzer enforces.
+
+pub mod locks;
+pub mod panic_free;
+pub mod stats;

@@ -1,0 +1,386 @@
+//! **Stat conservation.** The protocol's message accounting lives across
+//! files: the `MsgKind` enum (and its `ALL` mirror) in one, and
+//! `stats.sent(MsgKind::…)` emission sites spread over every substrate.
+//! PR 4 fixed two silent bugs this split caused — `RetrieveFail` was
+//! never counted, and a dead-origin retrieve was. This rule turns the
+//! invariant into a CI failure:
+//!
+//! * `MsgKind::ALL` lists every enum variant exactly once (and its
+//!   declared length matches),
+//! * every variant belongs to exactly one declared message class,
+//! * every substrate emits (`sent`/`sent_n`) each variant of every class
+//!   it declares — deleting an emission site is a finding,
+//! * no substrate emits a variant of a class it does not declare — a
+//!   counter bump on a path the protocol says carries no such message.
+
+use crate::config::StatsConfig;
+use crate::lexer::{Token, TokenKind};
+use crate::{load_source, Finding};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const RULE: &str = "stat-conservation";
+
+fn finding(file: &str, line: u32, message: String) -> Finding {
+    Finding { rule: RULE, file: file.to_string(), line, message }
+}
+
+/// Extracts `(variant, line)` pairs from `enum <name> { … }`.
+fn enum_variants(code: &[Token], name: &str) -> Option<Vec<(String, u32)>> {
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("enum") && code[i + 1].is_ident(name) {
+            break;
+        }
+        i += 1;
+    }
+    if i + 1 >= code.len() {
+        return None;
+    }
+    // find the opening brace
+    while i < code.len() && !code[i].is_punct('{') {
+        i += 1;
+    }
+    let mut variants = Vec::new();
+    let mut depth = 0u32;
+    let mut expecting = true;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 && t.is_punct('{') {
+                depth = 1;
+                i += 1;
+                continue;
+            }
+            // payload or nested group: skip it wholesale
+            let open = t.text.chars().next().unwrap_or('{');
+            let close = match open {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            };
+            let mut d = 0usize;
+            while i < code.len() {
+                if code[i].is_punct(open) {
+                    d += 1;
+                } else if code[i].is_punct(close) {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            return Some(variants);
+        }
+        if t.is_punct(',') {
+            expecting = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('#') {
+            // attribute on a variant: skip `#[…]`
+            i += 1;
+            if i < code.len() && code[i].is_punct('[') {
+                let mut d = 0usize;
+                while i < code.len() {
+                    if code[i].is_punct('[') {
+                        d += 1;
+                    } else if code[i].is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if expecting && t.kind == TokenKind::Ident {
+            variants.push((t.text.clone(), t.line));
+            expecting = false;
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// The parsed `ALL` mirror array.
+struct AllArray {
+    /// Length literal from the `[Kind; N]` type, when parseable.
+    declared_len: Option<u64>,
+    /// `(variant, line)` of every `<enum>::Variant` listed.
+    entries: Vec<(String, u32)>,
+    /// Line of the `ALL` identifier itself.
+    line: u32,
+}
+
+/// Extracts the `ALL` array: the declared length literal and the listed
+/// `<enum>::Variant` entries with their lines.
+fn all_array(code: &[Token], enum_name: &str) -> Option<AllArray> {
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("ALL") && i > 0 && code[i - 1].is_ident("const") {
+            break;
+        }
+        i += 1;
+    }
+    if i >= code.len() {
+        return None;
+    }
+    let all_line = code[i].line;
+    // declared length: the Num between `[` and `]` in the type position
+    let mut declared_len = None;
+    let mut j = i;
+    while j < code.len() && !code[j].is_punct('=') {
+        if code[j].kind == TokenKind::Num {
+            declared_len = code[j].text.replace('_', "").parse::<u64>().ok();
+        }
+        j += 1;
+    }
+    // entries between the `[` after `=` and its matching `]`
+    while j < code.len() && !code[j].is_punct('[') {
+        j += 1;
+    }
+    let mut entries = Vec::new();
+    while j < code.len() && !code[j].is_punct(']') {
+        if code[j].is_ident(enum_name)
+            && code.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && code.get(j + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+            && code.get(j + 3).map(|t| t.kind == TokenKind::Ident).unwrap_or(false)
+        {
+            entries.push((code[j + 3].text.clone(), code[j + 3].line));
+            j += 4;
+            continue;
+        }
+        j += 1;
+    }
+    Some(AllArray { declared_len, entries, line: all_line })
+}
+
+/// Finds `(variant, line)` of every `.sent(<enum>::V…)` /
+/// `.sent_n(<enum>::V…)` call in a (test-stripped) token stream.
+fn emissions(code: &[Token], enum_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for j in 0..code.len() {
+        if !code[j].is_punct('.') {
+            continue;
+        }
+        let Some(m) = code.get(j + 1) else { continue };
+        if !(m.is_ident("sent") || m.is_ident("sent_n")) {
+            continue;
+        }
+        if code.get(j + 2).map(|t| t.is_punct('(')).unwrap_or(false)
+            && code.get(j + 3).map(|t| t.is_ident(enum_name)).unwrap_or(false)
+            && code.get(j + 4).map(|t| t.is_punct(':')).unwrap_or(false)
+            && code.get(j + 5).map(|t| t.is_punct(':')).unwrap_or(false)
+            && code.get(j + 6).map(|t| t.kind == TokenKind::Ident).unwrap_or(false)
+        {
+            out.push((code[j + 6].text.clone(), code[j + 6].line));
+        }
+    }
+    out
+}
+
+/// Runs the rule, appending findings.
+pub fn check(root: &Path, cfg: &StatsConfig, findings: &mut Vec<Finding>) {
+    let Some(kinds) = load_source(root, &cfg.kinds_file, findings) else { return };
+    let Some(variants) = enum_variants(&kinds.code, &cfg.enum_name) else {
+        findings.push(finding(
+            &cfg.kinds_file,
+            0,
+            format!("enum `{}` not found", cfg.enum_name),
+        ));
+        return;
+    };
+    let variant_names: Vec<&str> = variants.iter().map(|(v, _)| v.as_str()).collect();
+
+    // ---- ALL stays in sync with the enum ----
+    match all_array(&kinds.code, &cfg.enum_name) {
+        None => findings.push(finding(
+            &cfg.kinds_file,
+            0,
+            format!("`{}::ALL` array not found", cfg.enum_name),
+        )),
+        Some(AllArray { declared_len, entries, line: all_line }) => {
+            if let Some(len) = declared_len {
+                if len != variants.len() as u64 {
+                    findings.push(finding(
+                        &cfg.kinds_file,
+                        all_line,
+                        format!(
+                            "`ALL` declares length {len} but the enum has {} variants",
+                            variants.len()
+                        ),
+                    ));
+                }
+            }
+            let mut seen = BTreeMap::new();
+            for (v, line) in &entries {
+                *seen.entry(v.clone()).or_insert(0u32) += 1;
+                if !variant_names.contains(&v.as_str()) {
+                    findings.push(finding(
+                        &cfg.kinds_file,
+                        *line,
+                        format!("`ALL` lists `{v}` which is not an enum variant"),
+                    ));
+                }
+            }
+            for (v, count) in &seen {
+                if *count > 1 {
+                    findings.push(finding(
+                        &cfg.kinds_file,
+                        all_line,
+                        format!("`ALL` lists `{v}` {count} times"),
+                    ));
+                }
+            }
+            for (v, line) in &variants {
+                if !seen.contains_key(v) {
+                    findings.push(finding(
+                        &cfg.kinds_file,
+                        *line,
+                        format!("variant `{v}` is missing from `ALL`"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- every variant classified exactly once ----
+    let mut class_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for (class, members) in &cfg.classes {
+        for v in members {
+            if !variant_names.contains(&v.as_str()) {
+                findings.push(finding(
+                    "analyzer-allow.toml",
+                    0,
+                    format!("[stats.classes] `{class}` lists unknown variant `{v}`"),
+                ));
+                continue;
+            }
+            if let Some(prev) = class_of.insert(v.as_str(), class.as_str()) {
+                findings.push(finding(
+                    "analyzer-allow.toml",
+                    0,
+                    format!("variant `{v}` is in both class `{prev}` and class `{class}`"),
+                ));
+            }
+        }
+    }
+    for (v, line) in &variants {
+        if !class_of.contains_key(v.as_str()) {
+            findings.push(finding(
+                &cfg.kinds_file,
+                *line,
+                format!("variant `{v}` belongs to no [stats.classes] message class"),
+            ));
+        }
+    }
+
+    // ---- per-substrate conservation ----
+    for (substrate, declared) in &cfg.substrates {
+        for class in declared {
+            if !cfg.classes.contains_key(class) {
+                findings.push(finding(
+                    "analyzer-allow.toml",
+                    0,
+                    format!("substrate `{substrate}` declares unknown class `{class}`"),
+                ));
+            }
+        }
+        let Some(file) = load_source(root, substrate, findings) else { continue };
+        let emitted = emissions(&file.code, &cfg.enum_name);
+        for class in declared {
+            let Some(members) = cfg.classes.get(class) else { continue };
+            for v in members {
+                if !emitted.iter().any(|(e, _)| e == v) {
+                    findings.push(finding(
+                        substrate,
+                        1,
+                        format!(
+                            "declares message class `{class}` but has no \
+                             `sent({}::{v})` emission site",
+                            cfg.enum_name
+                        ),
+                    ));
+                }
+            }
+        }
+        for (v, line) in &emitted {
+            match class_of.get(v.as_str()) {
+                Some(class) if declared.contains(&class.to_string()) => {}
+                Some(class) => findings.push(finding(
+                    substrate,
+                    *line,
+                    format!(
+                        "emits `{}::{v}` (class `{class}`) outside its declared \
+                         classes [{}]",
+                        cfg.enum_name,
+                        declared.join(", ")
+                    ),
+                )),
+                None => findings.push(finding(
+                    substrate,
+                    *line,
+                    format!("emits unknown variant `{}::{v}`", cfg.enum_name),
+                )),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const STATS_SRC: &str = "
+pub enum MsgKind { Query, QueryHit, Retrieve }
+impl MsgKind {
+    pub const ALL: [MsgKind; 3] = [MsgKind::Query, MsgKind::QueryHit, MsgKind::Retrieve];
+}
+";
+
+    #[test]
+    fn parses_enum_and_all() {
+        let code = lex(STATS_SRC).expect("lexes");
+        let vs = enum_variants(&code, "MsgKind").expect("enum found");
+        assert_eq!(
+            vs.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            vec!["Query", "QueryHit", "Retrieve"]
+        );
+        let all = all_array(&code, "MsgKind").expect("ALL found");
+        assert_eq!(all.declared_len, Some(3));
+        assert_eq!(all.entries.len(), 3);
+    }
+
+    #[test]
+    fn finds_emissions() {
+        let code = lex(
+            "fn f(s: &mut NetStats) { s.sent(MsgKind::Query); self.stats.sent_n(MsgKind::Retrieve, n); }",
+        )
+        .expect("lexes");
+        let em = emissions(&code, "MsgKind");
+        assert_eq!(
+            em.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            vec!["Query", "Retrieve"]
+        );
+    }
+
+    #[test]
+    fn enum_with_discriminants_and_payloads() {
+        let code = lex("enum E { A = 1, B(u32), C { x: u8 }, D }").expect("lexes");
+        let vs = enum_variants(&code, "E").expect("enum found");
+        assert_eq!(
+            vs.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            vec!["A", "B", "C", "D"]
+        );
+    }
+}

@@ -1,0 +1,8 @@
+pub enum Kind {
+    A,
+    B,
+}
+
+impl Kind {
+    pub const ALL: [Kind; 2] = [Kind::A, Kind::B];
+}

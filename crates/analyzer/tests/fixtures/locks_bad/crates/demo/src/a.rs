@@ -1,0 +1,18 @@
+pub fn forward(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    a.merge(&b);
+}
+
+pub fn notify(&self) {
+    let node = self.shared.lock();
+    node.for_each(|hit| {
+        let _ = self.reply.send(hit);
+    });
+}
+
+pub fn double(&self) {
+    let first = self.table.lock();
+    let second = self.table.lock();
+    first.merge(&second);
+}

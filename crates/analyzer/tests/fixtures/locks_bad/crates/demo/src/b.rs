@@ -1,0 +1,5 @@
+pub fn backward(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    b.merge(&a);
+}

@@ -1,0 +1,19 @@
+pub fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn second(x: u8) {
+    if x > 250 {
+        panic!("too large");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_not_flagged() {
+        assert_eq!(super::first(Some(1)), 1);
+        let v: Option<u8> = Some(2);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+pub fn serve(&self) {
+    self.stats.sent(Kind::A);
+    self.stats.sent(Kind::C);
+}

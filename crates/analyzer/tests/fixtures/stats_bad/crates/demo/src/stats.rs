@@ -1,0 +1,9 @@
+pub enum Kind {
+    A,
+    B,
+    C,
+}
+
+impl Kind {
+    pub const ALL: [Kind; 3] = [Kind::A, Kind::B];
+}

@@ -295,19 +295,30 @@ impl RouteTable {
         for _ in 1..self.config.radius.max(1) {
             let mut next: Vec<RoutingDigest> = Vec::with_capacity(keys.len());
             for &(q, p) in &keys {
-                let mut layer = edges[&(q, p)].last().expect("layer 1 present").clone();
+                let Some(mut layer) =
+                    edges.get(&(q, p)).and_then(|layers| layers.last()).cloned()
+                else {
+                    // seeded above for every key; an absent edge has no
+                    // prior layer to extend, so carry an empty digest
+                    next.push(RoutingDigest::new(self.config.log2_bits));
+                    continue;
+                };
                 for r in topo.neighbors(PeerId(q)) {
                     if r.0 == p {
                         continue;
                     }
-                    if let Some(upstream) = edges.get(&(r.0, q)) {
-                        layer.union_with(upstream.last().expect("layer 1 present"));
+                    if let Some(upstream) =
+                        edges.get(&(r.0, q)).and_then(|layers| layers.last())
+                    {
+                        layer.union_with(upstream);
                     }
                 }
                 next.push(layer);
             }
             for (key, layer) in keys.iter().zip(next) {
-                edges.get_mut(key).expect("key just inserted").push(layer);
+                if let Some(layers) = edges.get_mut(key) {
+                    layers.push(layer);
+                }
             }
         }
 

@@ -372,7 +372,9 @@ impl PeerNetwork for FloodingNetwork {
             if ev.ttl == 0 {
                 continue;
             }
-            let sender = *ev.path.last().expect("path never empty");
+            // every queued event carries at least the origin in its path;
+            // an empty one would be a malformed event — drop it
+            let Some(&sender) = ev.path.last() else { continue };
             if ev.mode == Propagation::Flood {
                 // forward to all neighbors except the immediate sender
                 let neighbors: Vec<PeerId> = self.topology.neighbors(ev.to).collect();

@@ -84,12 +84,13 @@ impl IndexNode {
     pub fn insert(&mut self, provider: PeerId, record: &ResourceRecord) {
         if let Some(&slot) = self.by_key.get(record.key.as_str()) {
             let community = &mut self.communities[slot as usize];
-            community
-                .providers
-                .get_mut(record.key.as_str())
-                .expect("keyed record has a provider set")
-                .insert(provider);
-            return;
+            if let Some(providers) = community.providers.get_mut(record.key.as_str()) {
+                providers.insert(provider);
+                return;
+            }
+            // key table and provider table disagree (should not happen);
+            // drop the stale key entry and re-index the record fresh
+            self.by_key.remove(record.key.as_str());
         }
         let slot = match self.names.get(record.community.as_str()) {
             Some(&slot) => slot,
@@ -113,27 +114,22 @@ impl IndexNode {
     /// (flooding and live peers overwrote their `BTreeMap` entry
     /// wholesale). Providers accumulated under the old record are kept.
     pub fn upsert(&mut self, provider: PeerId, record: &ResourceRecord) {
-        let previous = match self.by_key.get(record.key.as_str()) {
-            Some(&slot) => {
-                let community = &mut self.communities[slot as usize];
-                let (id, providers) = community
-                    .providers
-                    .remove_entry(record.key.as_str())
-                    .expect("keyed record has a provider set");
-                community.index.remove(&id);
-                self.by_key.remove(record.key.as_str());
-                Some(providers)
-            }
-            None => None,
-        };
+        let previous = self.by_key.get(record.key.as_str()).copied().and_then(|slot| {
+            let community = &mut self.communities[slot as usize];
+            let (id, providers) = community.providers.remove_entry(record.key.as_str())?;
+            community.index.remove(&id);
+            self.by_key.remove(record.key.as_str());
+            Some(providers)
+        });
         self.insert(provider, record);
         if let Some(old_providers) = previous {
-            let &slot = self.by_key.get(record.key.as_str()).expect("just inserted");
-            self.communities[slot as usize]
-                .providers
-                .get_mut(record.key.as_str())
-                .expect("just inserted")
-                .extend(old_providers);
+            if let Some(&slot) = self.by_key.get(record.key.as_str()) {
+                if let Some(set) =
+                    self.communities[slot as usize].providers.get_mut(record.key.as_str())
+                {
+                    set.extend(old_providers);
+                }
+            }
         }
     }
 
@@ -147,11 +143,9 @@ impl IndexNode {
         let Some(providers) = community.providers.get_mut(key) else { return };
         providers.remove(&provider);
         if providers.is_empty() {
-            let (id, _) = community
-                .providers
-                .remove_entry(key)
-                .expect("provider set was just accessed");
-            community.index.remove(&id);
+            if let Some((id, _)) = community.providers.remove_entry(key) {
+                community.index.remove(&id);
+            }
             self.by_key.remove(key);
         }
     }

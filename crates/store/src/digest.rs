@@ -81,12 +81,12 @@ impl fmt::Display for ResourceId {
 const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
 
 fn hex(bytes: &[u8]) -> String {
-    let mut s = Vec::with_capacity(bytes.len() * 2);
+    let mut s = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
-        s.push(HEX_DIGITS[(b >> 4) as usize]);
-        s.push(HEX_DIGITS[(b & 0x0f) as usize]);
+        s.push(HEX_DIGITS[(b >> 4) as usize] as char);
+        s.push(HEX_DIGITS[(b & 0x0f) as usize] as char);
     }
-    String::from_utf8(s).expect("hex digits are ASCII")
+    s
 }
 
 /// SHA-1 as specified in FIPS 180-1. Used for content addressing only —

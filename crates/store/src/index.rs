@@ -188,7 +188,12 @@ impl MetadataIndex {
     /// proportional to the removed object's postings, not the index size.
     pub fn remove(&mut self, id: &ResourceId) {
         let Some(doc) = self.doc_ids.remove(id) else { return };
-        let entry = self.docs[doc as usize].take().expect("live doc-id has an entry");
+        let Some(entry) = self.docs.get_mut(doc as usize).and_then(Option::take) else {
+            // id table pointed at an empty slot (should not happen);
+            // recycle the slot and there is nothing to unpost
+            self.free.push(doc);
+            return;
+        };
         for (i, (_, value)) in entry.fields.iter().enumerate() {
             let path = entry.path_syms[i] as usize;
             if let Some(v) = self.terms.get(&entry.norms[i]) {
@@ -223,7 +228,7 @@ impl MetadataIndex {
     /// refcount bump; this is what search hits carry).
     pub fn shared_fields(&self, id: &ResourceId) -> Option<&Arc<[(String, String)]>> {
         let doc = *self.doc_ids.get(id)?;
-        Some(&self.docs[doc as usize].as_ref().expect("live doc-id has an entry").fields)
+        self.docs.get(doc as usize)?.as_ref().map(|entry| &entry.fields)
     }
 
     /// All indexed ids.
@@ -240,7 +245,8 @@ impl MetadataIndex {
     pub fn execute(&self, query: &Query) -> BTreeSet<ResourceId> {
         self.exec(query)
             .into_iter()
-            .map(|doc| self.docs[doc as usize].as_ref().expect("live doc-id has an entry").id.clone())
+            .filter_map(|doc| self.docs.get(doc as usize).and_then(Option::as_ref))
+            .map(|entry| entry.id.clone())
             .collect()
     }
 
@@ -254,8 +260,9 @@ impl MetadataIndex {
         F: FnMut(&ResourceId, &Arc<[(String, String)]>),
     {
         for doc in self.exec(query) {
-            let entry = self.docs[doc as usize].as_ref().expect("live doc-id has an entry");
-            f(&entry.id, &entry.fields);
+            if let Some(entry) = self.docs.get(doc as usize).and_then(Option::as_ref) {
+                f(&entry.id, &entry.fields);
+            }
         }
     }
 
@@ -390,7 +397,8 @@ impl MetadataIndex {
                 }
                 lists.sort_unstable_by_key(Vec::len);
                 let mut iter = lists.into_iter();
-                let mut acc = iter.next().expect("non-empty And");
+                // lists has one entry per sub-query and qs is non-empty here
+                let Some(mut acc) = iter.next() else { return Vec::new() };
                 for l in iter {
                     acc = intersect_gallop(&acc, &l);
                     if acc.is_empty() {

@@ -311,11 +311,16 @@ impl Repository {
                 .build();
             // splice the object document in as a sibling of <fields>
             let mut wrapper = wrapper;
-            let root = wrapper.document_element().expect("wrapper has a root");
+            let root = wrapper
+                .document_element()
+                .ok_or_else(|| StoreError::Corrupt("built wrapper has no root".into()))?;
             let holder = wrapper.create_element("object".into());
             wrapper.append_child(root, holder);
             let obj_doc = Document::parse(&obj.xml)?;
-            let copied = wrapper.import_subtree(&obj_doc, obj_doc.document_element().unwrap());
+            let obj_root = obj_doc.document_element().ok_or_else(|| {
+                StoreError::Corrupt(format!("stored object `{}` has no root element", obj.id))
+            })?;
+            let copied = wrapper.import_subtree(&obj_doc, obj_root);
             wrapper.append_child(holder, copied);
             let path = dir.join(format!("{}.xml", obj.id));
             std::fs::write(path, wrapper.to_xml_string())?;

@@ -1,0 +1,1471 @@
+//! Whole-network discrete-event simulation engine.
+//!
+//! The step substrates ([`crate::CentralizedNetwork`],
+//! [`crate::FloodingNetwork`], [`crate::SuperPeerNetwork`]) simulate one
+//! search at a time on a private event queue; churn and digest refresh
+//! happen *between* searches, instantaneously. That is faithful for
+//! measuring a single query but caps experiments at the scale where
+//! per-peer objects and per-search allocation stay cheap.
+//!
+//! [`DesNetwork`] runs the same three protocols on **one global
+//! virtual-time queue** ([`crate::sim::EventQueue`], tie-broken by
+//! `(timestamp, sequence)`): query issue, per-hop message delivery, hit
+//! return, churn transitions, and digest refresh are all timestamped
+//! [`DesEvent`]s, so a churn storm lands *while* queries are in flight.
+//! Per-peer state is struct-of-arrays ([`RecordArena`] slots plus flat
+//! `Vec`s for liveness and super assignment) instead of one object per
+//! peer, which is what makes 100k+ peers tractable.
+//!
+//! # Equivalence with the step substrates
+//!
+//! The engine replays the step substrates' accounting decision-for-
+//! decision: the same `MsgKind` counters bump at the same logical points,
+//! the same RNG streams drive walker selection and super assignment, and
+//! latency draws happen in the same order. A sequential
+//! [`PeerNetwork::search`] through the trait therefore produces the same
+//! message counts, latencies, and hit *sets* as the equivalent step
+//! substrate (hit *order* may differ for Gnutella: the arena scans
+//! records in per-peer insertion order while the metadata index scans in
+//! doc-id order, and doc ids are recycled). The property tests in
+//! `tests/des_equivalence.rs` pin this down.
+
+use crate::churn::ChurnEvent;
+use crate::digest::{term_hash, RouteTable, RoutingDigest};
+use crate::event::{DesEvent, PropMode};
+use crate::flooding::FloodingConfig;
+use crate::index_node::IndexNode;
+use crate::latency::LatencyModel;
+use crate::message::{ResourceRecord, SearchHit, SharedFields, Time};
+use crate::peer::PeerId;
+use crate::sim::EventQueue;
+use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
+use crate::superpeer::SuperPeerConfig;
+use crate::topology::Topology;
+use crate::traits::{PeerNetwork, ProtocolKind};
+use crate::NetConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use up2p_store::{normalize, tokenize, Query};
+
+/// Pseudo-peer id of the central index server (mirrors the step
+/// substrate's convention; never a member of the peer vector).
+const SERVER: PeerId = PeerId(u32::MAX);
+
+// ---------------------------------------------------------------------
+// Struct-of-arrays record storage
+// ---------------------------------------------------------------------
+
+/// Struct-of-arrays record store for the flooding substrate: one slot
+/// per live record across *all* peers, with per-peer slot lists. Replaces
+/// the step substrate's `Vec<IndexNode>` (one inverted index per peer),
+/// which is prohibitively pointer-heavy at 100k peers.
+///
+/// Communities are interned once; fields stay behind the shared
+/// [`SharedFields`] arc so a record replicated on many peers costs one
+/// allocation.
+#[derive(Debug, Default)]
+struct RecordArena {
+    /// Record key per slot (empty string = free slot).
+    keys: Vec<String>,
+    /// Interned community id per slot.
+    communities: Vec<u32>,
+    /// Shared field list per slot.
+    fields: Vec<SharedFields>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Interned community names.
+    community_names: Vec<String>,
+    /// Name → interned id.
+    community_ids: HashMap<String, u32>,
+    /// Slots held by each peer, in insertion order.
+    by_peer: Vec<Vec<u32>>,
+}
+
+impl RecordArena {
+    fn new(peers: usize) -> RecordArena {
+        RecordArena { by_peer: vec![Vec::new(); peers], ..RecordArena::default() }
+    }
+
+    fn intern_community(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.community_ids.get(name) {
+            return id;
+        }
+        let id = self.community_names.len() as u32;
+        self.community_names.push(name.to_string());
+        self.community_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Inserts or replaces `peer`'s copy of `record` (keyed by
+    /// `record.key`), mirroring `IndexNode::upsert`.
+    fn upsert(&mut self, peer: u32, record: &ResourceRecord) {
+        self.remove(peer, &record.key);
+        let cid = self.intern_community(&record.community);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.keys[s as usize] = record.key.clone();
+                self.communities[s as usize] = cid;
+                self.fields[s as usize] = SharedFields::clone(&record.fields);
+                s
+            }
+            None => {
+                let s = self.keys.len() as u32;
+                self.keys.push(record.key.clone());
+                self.communities.push(cid);
+                self.fields.push(SharedFields::clone(&record.fields));
+                s
+            }
+        };
+        if let Some(list) = self.by_peer.get_mut(peer as usize) {
+            list.push(slot);
+        }
+    }
+
+    fn remove(&mut self, peer: u32, key: &str) {
+        let RecordArena { keys, fields, free, by_peer, .. } = self;
+        let Some(list) = by_peer.get_mut(peer as usize) else { return };
+        let Some(pos) = list.iter().position(|&s| keys[s as usize] == key) else { return };
+        let slot = list.remove(pos);
+        keys[slot as usize].clear();
+        fields[slot as usize] = SharedFields::from(Vec::new());
+        free.push(slot);
+    }
+
+    fn has(&self, peer: u32, key: &str) -> bool {
+        self.by_peer
+            .get(peer as usize)
+            .is_some_and(|list| list.iter().any(|&s| self.keys[s as usize] == key))
+    }
+
+    fn shared_count(&self, peer: u32) -> usize {
+        self.by_peer.get(peer as usize).map_or(0, Vec::len)
+    }
+
+    /// All of `peer`'s records matching `query` within `community`, in
+    /// insertion order.
+    fn matches(&self, peer: u32, community: &str, query: &Query) -> Vec<(String, SharedFields)> {
+        let Some(&cid) = self.community_ids.get(community) else { return Vec::new() };
+        let Some(list) = self.by_peer.get(peer as usize) else { return Vec::new() };
+        let mut out = Vec::new();
+        for &slot in list {
+            if self.communities[slot as usize] == cid
+                && query.matches_fields(&self.fields[slot as usize])
+            {
+                out.push((
+                    self.keys[slot as usize].clone(),
+                    SharedFields::clone(&self.fields[slot as usize]),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Builds `peer`'s routing digest, bit-identical to
+    /// `RoutingDigest::add_node` over an equivalent `IndexNode`: per live
+    /// record, the community marker, plus each field's normalized value
+    /// and its tokens. Bloom inserts are idempotent, so re-posting a term
+    /// shared by two records changes nothing.
+    fn digest_of(&self, peer: u32, log2_bits: u8) -> RoutingDigest {
+        let mut digest = RoutingDigest::new(log2_bits);
+        let Some(list) = self.by_peer.get(peer as usize) else { return digest };
+        for &slot in list {
+            let community = &self.community_names[self.communities[slot as usize] as usize];
+            digest.insert(term_hash(community, None));
+            for (_, value) in self.fields[slot as usize].iter() {
+                digest.insert(term_hash(community, Some(&normalize(value))));
+                for token in tokenize(value) {
+                    digest.insert(term_hash(community, Some(&token)));
+                }
+            }
+        }
+        digest
+    }
+
+    /// Deterministic size estimate (no allocator introspection, so two
+    /// same-seed runs report the same number).
+    fn approx_bytes(&self) -> u64 {
+        let slots = self.keys.len() as u64;
+        let key_bytes: u64 = self.keys.iter().map(|k| k.len() as u64).sum();
+        let by_peer: u64 = self.by_peer.iter().map(|l| 24 + 4 * l.len() as u64).sum();
+        key_bytes + slots * (24 + 4 + 16) + by_peer + self.free.len() as u64 * 4
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-protocol state
+// ---------------------------------------------------------------------
+
+/// Napster: one central index, queried over a star.
+struct NapsterState {
+    server: IndexNode,
+}
+
+/// Gnutella: flat overlay, records in the arena, optional digests.
+struct GnutellaState {
+    topology: Topology,
+    arena: RecordArena,
+    config: FloodingConfig,
+    routes: RouteTable,
+    walk_rng: StdRng,
+}
+
+/// FastTrack: leaves pinned to supers, per-super indexes and digests.
+struct FastTrackState {
+    config: SuperPeerConfig,
+    super_of: Vec<u32>,
+    super_topology: Topology,
+    indexes: Vec<IndexNode>,
+    owned: Vec<BTreeSet<String>>,
+    routes: RouteTable,
+    walk_rng: StdRng,
+}
+
+/// Protocol-specific half of the engine. Boxed so the enum stays small
+/// (`clippy::large_enum_variant`).
+enum Protocol {
+    Napster(Box<NapsterState>),
+    Gnutella(Box<GnutellaState>),
+    FastTrack(Box<FastTrackState>),
+}
+
+// ---------------------------------------------------------------------
+// Per-query state
+// ---------------------------------------------------------------------
+
+/// In-flight bookkeeping for one scheduled query. `pending` counts this
+/// query's events still on the queue (including the initial
+/// `QueryIssue`); the query finalizes when it reaches zero.
+struct QueryState {
+    origin: PeerId,
+    community: String,
+    query: Query,
+    issued_at: Time,
+    outcome: SearchOutcome,
+    seen: HashSet<u32>,
+    hit_seen: HashSet<(String, PeerId)>,
+    pending: u32,
+    last_hit_at: Time,
+    quiescence: Time,
+    done: bool,
+    taken: bool,
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Discrete-event simulation substrate running Napster, Gnutella, or
+/// FastTrack semantics on one global virtual-time queue.
+///
+/// Construct with [`DesNetwork::build`] (mirror of
+/// [`crate::build_network_with`], seed-for-seed) or the per-protocol
+/// constructors, then either:
+///
+/// * drive it through the [`PeerNetwork`] trait — each `search` pumps
+///   the queue until that query completes, exactly reproducing the step
+///   substrate's accounting — or
+/// * build a global timeline with [`DesNetwork::schedule_query`],
+///   [`DesNetwork::schedule_churn`], and
+///   [`DesNetwork::schedule_digest_refresh`], then [`DesNetwork::run`]
+///   it to completion, letting queries and churn interleave in virtual
+///   time.
+pub struct DesNetwork {
+    kind: ProtocolKind,
+    state: Protocol,
+    alive: Vec<bool>,
+    latency: Box<dyn LatencyModel + Send>,
+    stats: NetStats,
+    queue: EventQueue<DesEvent>,
+    queries: Vec<QueryState>,
+    clock: Time,
+    events_processed: u64,
+    peak_queue: usize,
+    log: Option<Vec<String>>,
+}
+
+impl std::fmt::Debug for DesNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesNetwork")
+            .field("kind", &self.kind)
+            .field("peers", &self.alive.len())
+            .field("clock", &self.clock)
+            .field("events_processed", &self.events_processed)
+            .field("queued", &self.queue.len())
+            .field("queries", &self.queries.len())
+            .finish()
+    }
+}
+
+impl DesNetwork {
+    // ---- construction ------------------------------------------------
+
+    fn with_state(
+        kind: ProtocolKind,
+        peers: usize,
+        latency: Box<dyn LatencyModel + Send>,
+        state: Protocol,
+    ) -> DesNetwork {
+        DesNetwork {
+            kind,
+            state,
+            alive: vec![true; peers],
+            latency,
+            stats: NetStats::new(),
+            queue: EventQueue::new(),
+            queries: Vec::new(),
+            clock: 0,
+            events_processed: 0,
+            peak_queue: 0,
+            log: None,
+        }
+    }
+
+    /// Napster semantics: every peer talks to one central index server.
+    pub fn napster(peers: usize, latency: Box<dyn LatencyModel + Send>) -> DesNetwork {
+        let state = Protocol::Napster(Box::new(NapsterState { server: IndexNode::new() }));
+        DesNetwork::with_state(ProtocolKind::Napster, peers, latency, state)
+    }
+
+    /// Gnutella semantics on an explicit overlay. The walker RNG seed
+    /// matches [`crate::FloodingNetwork::new`] so guided fallback walks
+    /// pick the same neighbors.
+    pub fn gnutella(
+        topology: Topology,
+        latency: Box<dyn LatencyModel + Send>,
+        config: FloodingConfig,
+    ) -> DesNetwork {
+        let peers = topology.len();
+        let state = Protocol::Gnutella(Box::new(GnutellaState {
+            arena: RecordArena::new(peers),
+            routes: RouteTable::new(config.digests),
+            walk_rng: StdRng::seed_from_u64(0xd16e_57ed ^ peers as u64),
+            topology,
+            config,
+        }));
+        DesNetwork::with_state(ProtocolKind::Gnutella, peers, latency, state)
+    }
+
+    /// FastTrack semantics: the first `config.supers` peers are supers,
+    /// every other peer is assigned one uniformly. RNG consumption
+    /// mirrors [`crate::SuperPeerNetwork::new`] draw-for-draw.
+    pub fn fasttrack(
+        peers: usize,
+        config: SuperPeerConfig,
+        latency: Box<dyn LatencyModel + Send>,
+        seed: u64,
+    ) -> DesNetwork {
+        assert!(config.supers > 0 && config.supers <= peers, "invalid super count");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut super_of = Vec::with_capacity(peers);
+        for i in 0..peers {
+            if i < config.supers {
+                super_of.push(i as u32);
+            } else {
+                super_of.push(rng.gen_range(0..config.supers) as u32);
+            }
+        }
+        let super_topology = if config.supers <= 3 {
+            Topology::ring_lattice(config.supers, 1)
+        } else {
+            Topology::small_world(config.supers, config.super_degree, 0.2, seed ^ 0x5eed)
+        };
+        let state = Protocol::FastTrack(Box::new(FastTrackState {
+            super_of,
+            super_topology,
+            indexes: std::iter::repeat_with(IndexNode::new).take(config.supers).collect(),
+            owned: vec![BTreeSet::new(); peers],
+            routes: RouteTable::new(config.digests),
+            walk_rng: StdRng::seed_from_u64(seed ^ 0x3a1f_7a1c),
+            config,
+        }));
+        DesNetwork::with_state(ProtocolKind::FastTrack, peers, latency, state)
+    }
+
+    /// Builds a DES substrate from the same [`NetConfig`] knobs as
+    /// [`crate::build_network_with`], consuming seeds identically so the
+    /// two constructions are comparable run-for-run.
+    pub fn build(kind: ProtocolKind, peers: usize, seed: u64, config: &NetConfig) -> DesNetwork {
+        match kind {
+            ProtocolKind::Napster => DesNetwork::napster(peers, config.latency.build(peers, seed)),
+            ProtocolKind::Gnutella => {
+                let topology = Topology::small_world(peers, 2, 0.2, seed);
+                DesNetwork::gnutella(
+                    topology,
+                    config.latency.build(peers, seed),
+                    FloodingConfig {
+                        ttl: config.ttl,
+                        dedup: config.dedup,
+                        digests: config.digests,
+                    },
+                )
+            }
+            ProtocolKind::FastTrack => DesNetwork::fasttrack(
+                peers,
+                SuperPeerConfig {
+                    supers: config.super_count(peers),
+                    super_degree: config.super_degree,
+                    ttl: config.super_ttl,
+                    digests: config.digests,
+                },
+                config.latency.build(peers, seed),
+                seed,
+            ),
+        }
+    }
+
+    // ---- timeline construction ---------------------------------------
+
+    /// Schedules a query to leave `origin` at virtual time `at`; returns
+    /// the query id used in [`DesEvent`] variants and
+    /// [`DesNetwork::take_outcome`].
+    pub fn schedule_query(&mut self, at: Time, origin: PeerId, community: &str, query: Query) -> u32 {
+        let qid = self.queries.len() as u32;
+        self.queries.push(QueryState {
+            origin,
+            community: community.to_string(),
+            query,
+            issued_at: at,
+            outcome: SearchOutcome::default(),
+            seen: HashSet::new(),
+            hit_seen: HashSet::new(),
+            pending: 1,
+            last_hit_at: at,
+            quiescence: at,
+            done: false,
+            taken: false,
+        });
+        self.queue.push(at, DesEvent::QueryIssue { qid });
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        qid
+    }
+
+    /// Schedules liveness transitions (e.g. from
+    /// [`crate::churn::exponential_schedule`]) as timestamped events.
+    pub fn schedule_churn(&mut self, events: &[ChurnEvent]) {
+        for e in events {
+            self.queue.push(e.at, DesEvent::Churn { peer: e.peer, online: e.online });
+        }
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Schedules a routing-digest rebuild at virtual time `at`.
+    pub fn schedule_digest_refresh(&mut self, at: Time) {
+        self.queue.push(at, DesEvent::DigestRefresh);
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Starts recording one log line per processed event (for the
+    /// determinism/replay tests).
+    pub fn enable_event_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// The recorded event log (empty unless
+    /// [`DesNetwork::enable_event_log`] was called).
+    pub fn event_log(&self) -> &[String] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// Drains the queue, then returns every not-yet-taken query outcome
+    /// in scheduling order.
+    pub fn run(&mut self) -> Vec<SearchOutcome> {
+        self.pump(None);
+        let mut out = Vec::new();
+        for qs in &mut self.queries {
+            if qs.done && !qs.taken {
+                qs.taken = true;
+                out.push(std::mem::take(&mut qs.outcome));
+            }
+        }
+        out
+    }
+
+    /// Takes a completed query's outcome by id (`None` if unknown, not
+    /// yet finished, or already taken).
+    pub fn take_outcome(&mut self, qid: u32) -> Option<SearchOutcome> {
+        let qs = self.queries.get_mut(qid as usize)?;
+        if !qs.done || qs.taken {
+            return None;
+        }
+        qs.taken = true;
+        Some(std::mem::take(&mut qs.outcome))
+    }
+
+    // ---- introspection -----------------------------------------------
+
+    /// Which protocol this engine runs.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// Current virtual time (max timestamp processed so far).
+    pub fn clock(&self) -> Time {
+        self.clock
+    }
+
+    /// Total events popped from the queue so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// High-water mark of the event queue length.
+    pub fn peak_queue_len(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Records currently shared by `peer` (0 for Napster, where records
+    /// live only on the server).
+    pub fn shared_count(&self, peer: PeerId) -> usize {
+        match &self.state {
+            Protocol::Napster(_) => 0,
+            Protocol::Gnutella(g) => g.arena.shared_count(peer.0),
+            Protocol::FastTrack(ft) => {
+                ft.owned.get(peer.index()).map_or(0, BTreeSet::len)
+            }
+        }
+    }
+
+    /// The super-peer index `peer` reports to (FastTrack only).
+    pub fn super_of_peer(&self, peer: PeerId) -> Option<usize> {
+        match &self.state {
+            Protocol::FastTrack(ft) => {
+                ft.super_of.get(peer.index()).map(|&s| s as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Queries the routing tables like the forwarding path does: the
+    /// minimum advertised depth at which `advertiser`'s digest (held by
+    /// `receiver`) may match, within `max_depth`. Used by the churn
+    /// regression tests to assert stale digests never go false-negative.
+    pub fn route_min_depth(
+        &self,
+        advertiser: u32,
+        receiver: u32,
+        community: &str,
+        query: &Query,
+        max_depth: u8,
+    ) -> Option<u8> {
+        match &self.state {
+            Protocol::Napster(_) => None,
+            Protocol::Gnutella(g) => {
+                g.routes.min_depth(advertiser, receiver, community, query, max_depth)
+            }
+            Protocol::FastTrack(ft) => {
+                ft.routes.min_depth(advertiser, receiver, community, query, max_depth)
+            }
+        }
+    }
+
+    /// Deterministic estimate of resident state in bytes: liveness,
+    /// protocol state, and the event queue at its high-water mark. Not
+    /// allocator-exact — comparable across runs and protocols, which is
+    /// what the E11 scale experiment needs.
+    pub fn approx_bytes(&self) -> u64 {
+        let state = match &self.state {
+            Protocol::Napster(np) => np.server.len() as u64 * 256,
+            Protocol::Gnutella(g) => {
+                g.arena.approx_bytes() + g.topology.edge_count() as u64 * 16
+            }
+            Protocol::FastTrack(ft) => {
+                let owned: u64 = ft
+                    .owned
+                    .iter()
+                    .map(|s| 24 + s.iter().map(|k| 32 + k.len() as u64).sum::<u64>())
+                    .sum();
+                let indexes: u64 = ft.indexes.iter().map(|i| i.len() as u64 * 256).sum();
+                owned
+                    + indexes
+                    + ft.super_topology.edge_count() as u64 * 16
+                    + ft.super_of.len() as u64 * 4
+            }
+        };
+        let events =
+            self.peak_queue as u64 * (std::mem::size_of::<DesEvent>() as u64 + 24);
+        self.alive.len() as u64 + state + events
+    }
+
+    /// Rebuilds dirty routing digests immediately (also triggered by the
+    /// guided search path and [`DesEvent::DigestRefresh`] events).
+    pub fn refresh_digests(&mut self) {
+        match &mut self.state {
+            Protocol::Napster(_) => {}
+            Protocol::Gnutella(g) => refresh_gnutella_digests(g, &mut self.stats),
+            Protocol::FastTrack(ft) => refresh_fasttrack_digests(ft, &mut self.stats),
+        }
+    }
+
+    // ---- the pump ----------------------------------------------------
+
+    /// Processes events in `(timestamp, sequence)` order. With
+    /// `until = Some(qid)`, stops once that query finalizes; with `None`,
+    /// drains the queue.
+    fn pump(&mut self, until: Option<u32>) {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.clock = self.clock.max(t);
+            self.events_processed += 1;
+            if let Some(log) = &mut self.log {
+                log.push(ev.log_line(t));
+            }
+            let qid = self.dispatch(t, ev);
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            if let Some(q) = qid {
+                self.finalize_if_done(q);
+                if until == Some(q) && self.queries.get(q as usize).is_some_and(|qs| qs.done) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one event to its handler; returns the query id for
+    /// query-scoped events so the pump can check for completion.
+    fn dispatch(&mut self, t: Time, ev: DesEvent) -> Option<u32> {
+        match ev {
+            DesEvent::QueryIssue { qid } => {
+                self.handle_query_issue(t, qid);
+                Some(qid)
+            }
+            DesEvent::FloodQuery { qid, to, path, ttl, mode } => {
+                self.handle_flood_query(t, qid, to, path, ttl, mode);
+                Some(qid)
+            }
+            DesEvent::SuperQuery { qid, to, path, ttl, mode } => {
+                self.handle_super_query(t, qid, to, path, ttl, mode);
+                Some(qid)
+            }
+            DesEvent::ServerQuery { qid } => {
+                self.handle_server_query(t, qid);
+                Some(qid)
+            }
+            DesEvent::HitDeliver { qid, .. } => {
+                if let Some(qs) = self.queries.get_mut(qid as usize) {
+                    qs.pending = qs.pending.saturating_sub(1);
+                }
+                Some(qid)
+            }
+            DesEvent::Churn { peer, online } => {
+                if let Some(slot) = self.alive.get_mut(peer.index()) {
+                    *slot = online;
+                }
+                None
+            }
+            DesEvent::DigestRefresh => {
+                self.refresh_digests();
+                None
+            }
+        }
+    }
+
+    /// Converts a completed query's absolute times to the step
+    /// substrates' origin-relative convention and releases its dedup
+    /// sets.
+    fn finalize_if_done(&mut self, qid: u32) {
+        let Some(qs) = self.queries.get_mut(qid as usize) else { return };
+        if qs.done || qs.pending != 0 {
+            return;
+        }
+        qs.done = true;
+        let end = if qs.outcome.hits.is_empty() { qs.quiescence } else { qs.last_hit_at };
+        qs.outcome.latency = end.saturating_sub(qs.issued_at);
+        let issued = qs.issued_at;
+        qs.outcome.first_hit_latency =
+            qs.outcome.first_hit_latency.map(|f| f.saturating_sub(issued));
+        if !qs.outcome.hits.is_empty() {
+            self.stats.queries_with_hits += 1;
+        }
+        qs.seen = HashSet::new();
+        qs.hit_seen = HashSet::new();
+    }
+
+    // ---- event handlers ----------------------------------------------
+
+    fn handle_query_issue(&mut self, t: Time, qid: u32) {
+        let Self { state, alive, latency, stats, queue, queries, .. } = self;
+        let Some(qs) = queries.get_mut(qid as usize) else { return };
+        qs.pending = qs.pending.saturating_sub(1);
+        stats.queries += 1;
+        let origin = qs.origin;
+        if !alive.get(origin.index()).copied().unwrap_or(false) {
+            return;
+        }
+        match state {
+            Protocol::Napster(_) => {
+                // One round trip to the server; the reply always arrives.
+                stats.sent(MsgKind::Query);
+                stats.sent(MsgKind::QueryHit);
+                qs.outcome.messages = 2;
+                let up = latency.delay(origin, SERVER);
+                let down = latency.delay(SERVER, origin);
+                qs.quiescence = t + up + down;
+                qs.last_hit_at = qs.quiescence;
+                qs.pending += 1;
+                queue.push(t + up, DesEvent::ServerQuery { qid });
+            }
+            Protocol::Gnutella(g) => {
+                let guided = g.config.digests.enabled;
+                if guided {
+                    refresh_gnutella_digests(g, stats);
+                }
+                // Local hits are free: no message, zero hops, zero latency.
+                for (key, fields) in g.arena.matches(origin.0, &qs.community, &qs.query) {
+                    qs.hit_seen.insert((key.clone(), origin));
+                    qs.outcome.hits.push(SearchHit { key, provider: origin, fields, hops: 0 });
+                    stats.hit(0);
+                    qs.outcome.first_hit_latency = Some(t);
+                }
+                qs.seen.insert(origin.0);
+                if g.config.ttl == 0 {
+                    return;
+                }
+                if guided {
+                    if qs.outcome.hits.is_empty() {
+                        let GnutellaState { topology, routes, walk_rng, config, .. } = &mut **g;
+                        let QueryState { community, query, outcome, pending, .. } = qs;
+                        forward_guided_des(
+                            t,
+                            origin.0,
+                            None,
+                            &[],
+                            config.ttl,
+                            community,
+                            query,
+                            config.digests.fanout,
+                            config.digests.walk_width,
+                            topology,
+                            routes,
+                            walk_rng,
+                            latency.as_mut(),
+                            stats,
+                            &mut outcome.messages,
+                            pending,
+                            queue,
+                            |to, path, ttl, mode| DesEvent::FloodQuery {
+                                qid,
+                                to: PeerId(to),
+                                path,
+                                ttl,
+                                mode,
+                            },
+                        );
+                    }
+                } else {
+                    let ttl = g.config.ttl - 1;
+                    for nb in g.topology.neighbors(origin) {
+                        stats.sent(MsgKind::Query);
+                        qs.outcome.messages += 1;
+                        let at = t + latency.delay(origin, nb);
+                        qs.pending += 1;
+                        queue.push(
+                            at,
+                            DesEvent::FloodQuery {
+                                qid,
+                                to: nb,
+                                path: vec![origin.0],
+                                ttl,
+                                mode: PropMode::Flood,
+                            },
+                        );
+                    }
+                }
+            }
+            Protocol::FastTrack(ft) => {
+                let guided = ft.config.digests.enabled;
+                if guided {
+                    refresh_fasttrack_digests(ft, stats);
+                }
+                let s0 = ft.super_of[origin.index()];
+                let mut uplink: Time = 0;
+                if origin.index() >= ft.config.supers {
+                    stats.sent(MsgKind::Query);
+                    qs.outcome.messages += 1;
+                    uplink = latency.delay(origin, PeerId(s0));
+                    if !alive.get(s0 as usize).copied().unwrap_or(false) {
+                        stats.dropped += 1;
+                        qs.quiescence = t + uplink;
+                        return;
+                    }
+                }
+                let mode = if guided { PropMode::Guided } else { PropMode::Flood };
+                qs.pending += 1;
+                queue.push(
+                    t + uplink,
+                    DesEvent::SuperQuery {
+                        qid,
+                        to: s0,
+                        path: Vec::new(),
+                        ttl: ft.config.ttl,
+                        mode,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_flood_query(
+        &mut self,
+        t: Time,
+        qid: u32,
+        to: PeerId,
+        path: Vec<u32>,
+        ttl: u8,
+        mode: PropMode,
+    ) {
+        let Self { state, alive, latency, stats, queue, queries, .. } = self;
+        let Protocol::Gnutella(g) = state else { return };
+        let Some(qs) = queries.get_mut(qid as usize) else { return };
+        qs.pending = qs.pending.saturating_sub(1);
+        qs.quiescence = qs.quiescence.max(t);
+        if !alive.get(to.index()).copied().unwrap_or(false) {
+            stats.dropped += 1;
+            return;
+        }
+        let first_visit = qs.seen.insert(to.0);
+        match mode {
+            PropMode::Flood if g.config.dedup && !first_visit => return,
+            PropMode::Guided if !first_visit => return,
+            _ => {}
+        }
+        // Walkers (and un-deduped floods) may revisit, but a revisit
+        // never re-evaluates records.
+        let evaluate = first_visit || mode == PropMode::Flood;
+        let local = if evaluate {
+            g.arena.matches(to.0, &qs.community, &qs.query)
+        } else {
+            Vec::new()
+        };
+        if !local.is_empty() {
+            // Route the hit back along the recorded path.
+            let mut back: Time = 0;
+            let mut prev = to.0;
+            for &node in path.iter().rev() {
+                stats.sent(MsgKind::QueryHit);
+                qs.outcome.messages += 1;
+                back += latency.delay(PeerId(prev), PeerId(node));
+                prev = node;
+            }
+            let arrival = t + back;
+            let hops = path.len() as u8;
+            let mut new_hits = 0u32;
+            for (key, fields) in local {
+                if qs.hit_seen.insert((key.clone(), to)) {
+                    qs.outcome.hits.push(SearchHit { key, provider: to, fields, hops });
+                    stats.hit(hops);
+                    qs.last_hit_at = qs.last_hit_at.max(arrival);
+                    qs.outcome.first_hit_latency =
+                        Some(qs.outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
+                    new_hits += 1;
+                }
+            }
+            qs.pending += 1;
+            queue.push(arrival, DesEvent::HitDeliver { qid, hits: new_hits });
+            if mode != PropMode::Flood {
+                // Guided copies and walkers stop at the first frontier hit.
+                return;
+            }
+        }
+        if ttl == 0 {
+            return;
+        }
+        let Some(&sender) = path.last() else { return };
+        if mode == PropMode::Flood {
+            for nb in g.topology.neighbors(to) {
+                if nb.0 == sender {
+                    continue;
+                }
+                stats.sent(MsgKind::Query);
+                qs.outcome.messages += 1;
+                let at = t + latency.delay(to, nb);
+                let mut next_path = path.clone();
+                next_path.push(to.0);
+                qs.pending += 1;
+                queue.push(
+                    at,
+                    DesEvent::FloodQuery {
+                        qid,
+                        to: nb,
+                        path: next_path,
+                        ttl: ttl - 1,
+                        mode: PropMode::Flood,
+                    },
+                );
+            }
+        } else {
+            let GnutellaState { topology, routes, walk_rng, config, .. } = &mut **g;
+            let QueryState { community, query, outcome, pending, .. } = qs;
+            forward_guided_des(
+                t,
+                to.0,
+                Some(sender),
+                &path,
+                ttl,
+                community,
+                query,
+                config.digests.fanout,
+                1,
+                topology,
+                routes,
+                walk_rng,
+                latency.as_mut(),
+                stats,
+                &mut outcome.messages,
+                pending,
+                queue,
+                |next, p, rem, m| DesEvent::FloodQuery {
+                    qid,
+                    to: PeerId(next),
+                    path: p,
+                    ttl: rem,
+                    mode: m,
+                },
+            );
+        }
+    }
+
+    fn handle_super_query(
+        &mut self,
+        t: Time,
+        qid: u32,
+        to: u32,
+        path: Vec<u32>,
+        ttl: u8,
+        mode: PropMode,
+    ) {
+        let Self { state, alive, latency, stats, queue, queries, .. } = self;
+        let Protocol::FastTrack(ft) = state else { return };
+        let Some(qs) = queries.get_mut(qid as usize) else { return };
+        qs.pending = qs.pending.saturating_sub(1);
+        qs.quiescence = qs.quiescence.max(t);
+        if !alive.get(to as usize).copied().unwrap_or(false) {
+            stats.dropped += 1;
+            return;
+        }
+        let first_visit = qs.seen.insert(to);
+        match mode {
+            PropMode::Walk => {}
+            _ if !first_visit => return,
+            _ => {}
+        }
+        let origin = qs.origin;
+        let origin_is_super = origin.index() < ft.config.supers;
+        let hops = path.len() as u8 + u8::from(!origin_is_super);
+        let mut local_hits: Vec<SearchHit> = Vec::new();
+        if first_visit {
+            let QueryState { community, query, hit_seen, .. } = &mut *qs;
+            let alive_ref = &*alive;
+            ft.indexes[to as usize].search(
+                community.as_str(),
+                query,
+                |p| alive_ref.get(p.index()).copied().unwrap_or(false),
+                |key, provider, fields| {
+                    if hit_seen.insert((key.to_string(), provider)) {
+                        local_hits.push(SearchHit {
+                            key: key.to_string(),
+                            provider,
+                            fields: fields.clone(),
+                            hops,
+                        });
+                    }
+                },
+            );
+        }
+        if !local_hits.is_empty() {
+            let mut back: Time = 0;
+            let mut prev = to;
+            for &node in path.iter().rev() {
+                stats.sent(MsgKind::QueryHit);
+                qs.outcome.messages += 1;
+                back += latency.delay(PeerId(prev), PeerId(node));
+                prev = node;
+            }
+            if !origin_is_super {
+                stats.sent(MsgKind::QueryHit);
+                qs.outcome.messages += 1;
+                let s0 = ft.super_of[origin.index()];
+                back += latency.delay(PeerId(s0), origin);
+            }
+            let arrival = t + back;
+            let batch = local_hits.len() as u32;
+            for h in local_hits {
+                stats.hit(h.hops);
+                qs.last_hit_at = qs.last_hit_at.max(arrival);
+                qs.outcome.first_hit_latency =
+                    Some(qs.outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
+                qs.outcome.hits.push(h);
+            }
+            qs.pending += 1;
+            queue.push(arrival, DesEvent::HitDeliver { qid, hits: batch });
+            if mode != PropMode::Flood {
+                return;
+            }
+        }
+        if ttl == 0 {
+            return;
+        }
+        let sender = path.last().copied();
+        if mode == PropMode::Flood {
+            for nb in ft.super_topology.neighbors(PeerId(to)) {
+                if Some(nb.0) == sender {
+                    continue;
+                }
+                stats.sent(MsgKind::Query);
+                qs.outcome.messages += 1;
+                let at = t + latency.delay(PeerId(to), nb);
+                let mut next_path = path.clone();
+                next_path.push(to);
+                qs.pending += 1;
+                queue.push(
+                    at,
+                    DesEvent::SuperQuery {
+                        qid,
+                        to: nb.0,
+                        path: next_path,
+                        ttl: ttl - 1,
+                        mode: PropMode::Flood,
+                    },
+                );
+            }
+        } else {
+            let width = if sender.is_none() { ft.config.digests.walk_width } else { 1 };
+            let FastTrackState { super_topology, routes, walk_rng, config, .. } = &mut **ft;
+            let QueryState { community, query, outcome, pending, .. } = qs;
+            forward_guided_des(
+                t,
+                to,
+                sender,
+                &path,
+                ttl,
+                community,
+                query,
+                config.digests.fanout,
+                width,
+                super_topology,
+                routes,
+                walk_rng,
+                latency.as_mut(),
+                stats,
+                &mut outcome.messages,
+                pending,
+                queue,
+                |next, p, rem, m| DesEvent::SuperQuery { qid, to: next, path: p, ttl: rem, mode: m },
+            );
+        }
+    }
+
+    fn handle_server_query(&mut self, _t: Time, qid: u32) {
+        let Self { state, alive, stats, queue, queries, .. } = self;
+        let Protocol::Napster(np) = state else { return };
+        let Some(qs) = queries.get_mut(qid as usize) else { return };
+        qs.pending = qs.pending.saturating_sub(1);
+        let arrival = qs.quiescence;
+        let batch;
+        {
+            let QueryState { community, query, outcome, .. } = &mut *qs;
+            let alive_ref = &*alive;
+            let hits = &mut outcome.hits;
+            np.server.search(
+                community.as_str(),
+                query,
+                |p| alive_ref.get(p.index()).copied().unwrap_or(false),
+                |key, provider, fields| {
+                    hits.push(SearchHit {
+                        key: key.to_string(),
+                        provider,
+                        fields: fields.clone(),
+                        hops: 1,
+                    });
+                },
+            );
+            for _ in &outcome.hits {
+                stats.hit(1);
+            }
+            if !outcome.hits.is_empty() {
+                outcome.first_hit_latency = Some(arrival);
+            }
+            batch = outcome.hits.len() as u32;
+        }
+        // The server's reply arrives whether or not it carries hits.
+        qs.pending += 1;
+        queue.push(arrival, DesEvent::HitDeliver { qid, hits: batch });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared guided-forwarding logic
+// ---------------------------------------------------------------------
+
+/// Digest-guided forwarding, shared by the flat and super overlays:
+/// rank neighbors by advertised depth, take the best `fanout`, or fall
+/// back to `walk_width` random walkers when no digest matches. Mirrors
+/// the step substrates' `forward_guided` decision-for-decision (same
+/// sort, same RNG draws) but emits queue events instead of recursing.
+#[allow(clippy::too_many_arguments)]
+fn forward_guided_des(
+    t: Time,
+    from: u32,
+    sender: Option<u32>,
+    path: &[u32],
+    ttl: u8,
+    community: &str,
+    query: &Query,
+    fanout: usize,
+    walk_width: usize,
+    topology: &Topology,
+    routes: &RouteTable,
+    walk_rng: &mut StdRng,
+    latency: &mut (dyn LatencyModel + Send),
+    stats: &mut NetStats,
+    messages: &mut u64,
+    pending: &mut u32,
+    queue: &mut EventQueue<DesEvent>,
+    make_event: impl Fn(u32, Vec<u32>, u8, PropMode) -> DesEvent,
+) {
+    if ttl == 0 {
+        return;
+    }
+    let mut candidates: Vec<(u8, u32)> = topology
+        .neighbors(PeerId(from))
+        .map(|p| p.0)
+        .filter(|&nb| Some(nb) != sender)
+        .filter_map(|nb| {
+            routes.min_depth(nb, from, community, query, ttl).map(|d| (d, nb))
+        })
+        .collect();
+    candidates.sort_unstable();
+    let targets: Vec<(u32, PropMode)> = if candidates.is_empty() {
+        let mut options: Vec<u32> = topology
+            .neighbors(PeerId(from))
+            .map(|p| p.0)
+            .filter(|&nb| Some(nb) != sender)
+            .collect();
+        let mut walkers = Vec::new();
+        while walkers.len() < walk_width && !options.is_empty() {
+            let i = walk_rng.gen_range(0..options.len());
+            walkers.push((options.swap_remove(i), PropMode::Walk));
+        }
+        walkers
+    } else {
+        candidates.into_iter().take(fanout.max(1)).map(|(_, nb)| (nb, PropMode::Guided)).collect()
+    };
+    for (nb, mode) in targets {
+        stats.sent(MsgKind::Query);
+        *messages += 1;
+        let at = t + latency.delay(PeerId(from), PeerId(nb));
+        let mut next_path = path.to_vec();
+        next_path.push(from);
+        *pending += 1;
+        queue.push(at, make_event(nb, next_path, ttl - 1, mode));
+    }
+}
+
+fn refresh_gnutella_digests(g: &mut GnutellaState, stats: &mut NetStats) {
+    let cfg = g.config.digests;
+    if !cfg.enabled || !g.routes.needs_refresh() {
+        return;
+    }
+    let GnutellaState { routes, topology, arena, .. } = g;
+    let (requests, pushes) = routes.refresh(topology, |p| arena.digest_of(p, cfg.log2_bits));
+    stats.sent_n(MsgKind::DigestRequest, requests);
+    stats.sent_n(MsgKind::DigestPush, pushes);
+}
+
+fn refresh_fasttrack_digests(ft: &mut FastTrackState, stats: &mut NetStats) {
+    let cfg = ft.config.digests;
+    if !cfg.enabled || !ft.routes.needs_refresh() {
+        return;
+    }
+    let FastTrackState { routes, super_topology, indexes, .. } = ft;
+    let (requests, pushes) = routes.refresh(super_topology, |s| {
+        let mut digest = RoutingDigest::new(cfg.log2_bits);
+        if let Some(index) = indexes.get(s as usize) {
+            digest.add_node(index);
+        }
+        digest
+    });
+    stats.sent_n(MsgKind::DigestRequest, requests);
+    stats.sent_n(MsgKind::DigestPush, pushes);
+}
+
+// ---------------------------------------------------------------------
+// PeerNetwork impl
+// ---------------------------------------------------------------------
+
+impl PeerNetwork for DesNetwork {
+    fn protocol_name(&self) -> &'static str {
+        self.kind.schema_value()
+    }
+
+    fn peer_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    fn set_alive(&mut self, peer: PeerId, alive: bool) {
+        if let Some(slot) = self.alive.get_mut(peer.index()) {
+            *slot = alive;
+        }
+    }
+
+    fn publish(&mut self, provider: PeerId, record: ResourceRecord) {
+        let Self { state, alive, stats, .. } = self;
+        match state {
+            Protocol::Napster(np) => {
+                if !alive.get(provider.index()).copied().unwrap_or(false) {
+                    return;
+                }
+                stats.sent(MsgKind::Publish);
+                np.server.insert(provider, &record);
+            }
+            Protocol::Gnutella(g) => {
+                if provider.index() >= alive.len() {
+                    return;
+                }
+                g.arena.upsert(provider.0, &record);
+                if g.config.digests.enabled {
+                    g.routes.mark_dirty(provider.0);
+                }
+            }
+            Protocol::FastTrack(ft) => {
+                if !alive.get(provider.index()).copied().unwrap_or(false) {
+                    return;
+                }
+                let s = ft.super_of[provider.index()];
+                if provider.index() >= ft.config.supers {
+                    stats.sent(MsgKind::Publish);
+                }
+                ft.owned[provider.index()].insert(record.key.clone());
+                ft.indexes[s as usize].insert(provider, &record);
+                if ft.config.digests.enabled {
+                    ft.routes.mark_dirty(s);
+                }
+            }
+        }
+    }
+
+    fn unpublish(&mut self, provider: PeerId, key: &str) {
+        let Self { state, alive, stats, .. } = self;
+        match state {
+            Protocol::Napster(np) => {
+                stats.sent(MsgKind::Unpublish);
+                np.server.remove(provider, key);
+            }
+            Protocol::Gnutella(g) => {
+                g.arena.remove(provider.0, key);
+                if g.config.digests.enabled && provider.index() < alive.len() {
+                    g.routes.mark_dirty(provider.0);
+                }
+            }
+            Protocol::FastTrack(ft) => {
+                if provider.index() >= alive.len() {
+                    return;
+                }
+                let s = ft.super_of[provider.index()];
+                if provider.index() >= ft.config.supers {
+                    stats.sent(MsgKind::Unpublish);
+                }
+                ft.owned[provider.index()].remove(key);
+                ft.indexes[s as usize].remove(provider, key);
+                if ft.config.digests.enabled {
+                    ft.routes.mark_dirty(s);
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
+        let at = self.clock;
+        let qid = self.schedule_query(at, origin, community, query.clone());
+        self.pump(Some(qid));
+        self.take_outcome(qid).unwrap_or_default()
+    }
+
+    fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
+        self.stats.retrieves += 1;
+        if !self.is_alive(origin) {
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent(MsgKind::Retrieve);
+        if !self.is_alive(provider) {
+            self.stats.dropped += 1;
+            return RetrieveOutcome::Unavailable;
+        }
+        let has = match &self.state {
+            Protocol::Napster(np) => np.server.has_provider(key, provider),
+            Protocol::Gnutella(g) => g.arena.has(provider.0, key),
+            Protocol::FastTrack(ft) => {
+                ft.owned.get(provider.index()).is_some_and(|set| set.contains(key))
+            }
+        };
+        if !has {
+            self.stats.sent(MsgKind::RetrieveFail);
+            return RetrieveOutcome::Unavailable;
+        }
+        self.stats.sent(MsgKind::RetrieveOk);
+        self.stats.retrieves_ok += 1;
+        let latency = self.latency.delay(origin, provider) + self.latency.delay(provider, origin);
+        RetrieveOutcome::Fetched { provider, latency }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+    use crate::stats::MsgKind;
+
+    fn track(key: &str, artist: &str) -> ResourceRecord {
+        ResourceRecord::new(
+            key,
+            "tracks",
+            vec![("artist".to_string(), artist.to_string())],
+        )
+    }
+
+    fn q(artist: &str) -> Query {
+        Query::contains("artist", artist)
+    }
+
+    #[test]
+    fn napster_round_trip() {
+        let mut net = DesNetwork::napster(4, Box::new(ConstantLatency(10)));
+        net.publish(PeerId(1), track("k1", "miles davis"));
+        let out = net.search(PeerId(0), "tracks", &q("miles"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(1));
+        assert_eq!(out.messages, 2);
+        assert_eq!(out.latency, 20);
+        assert_eq!(out.first_hit_latency, Some(20));
+        assert!(net.retrieve(PeerId(0), PeerId(1), "k1").is_fetched());
+        assert_eq!(net.stats().count(MsgKind::Query), 1);
+        assert_eq!(net.stats().count(MsgKind::QueryHit), 1);
+    }
+
+    #[test]
+    fn gnutella_flood_finds_remote_record() {
+        let mut net = DesNetwork::gnutella(
+            Topology::ring_lattice(6, 1),
+            Box::new(ConstantLatency(5)),
+            FloodingConfig::default(),
+        );
+        net.publish(PeerId(3), track("k1", "coltrane"));
+        let out = net.search(PeerId(0), "tracks", &q("coltrane"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].hops, 3);
+        // hit latency: 3 hops out + 3 hops back at 5µs each
+        assert_eq!(out.first_hit_latency, Some(30));
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn fasttrack_leaf_to_leaf() {
+        let config = SuperPeerConfig { supers: 2, ..SuperPeerConfig::default() };
+        let mut net = DesNetwork::fasttrack(8, config, Box::new(ConstantLatency(7)), 9);
+        net.publish(PeerId(5), track("k1", "mingus"));
+        let out = net.search(PeerId(6), "tracks", &q("mingus"));
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].provider, PeerId(5));
+        assert!(net.stats().count(MsgKind::Query) >= 1);
+    }
+
+    #[test]
+    fn global_timeline_interleaves_churn_and_queries() {
+        let mut net = DesNetwork::napster(3, Box::new(ConstantLatency(10)));
+        net.publish(PeerId(1), track("k1", "monk"));
+        // Query at t=0 sees the provider; churn kills it at t=5 (before
+        // the server processes the query at t=10), so the *same* query
+        // issued at t=0 already misses: the server's alive-filter runs
+        // when the ServerQuery event fires.
+        let q0 = net.schedule_query(0, PeerId(0), "tracks", q("monk"));
+        net.schedule_churn(&[ChurnEvent { at: 5, peer: PeerId(1), online: false }]);
+        let q1 = net.schedule_query(50, PeerId(2), "tracks", q("monk"));
+        let outcomes = net.run();
+        assert_eq!(outcomes.len(), 2);
+        assert!(net.take_outcome(q0).is_none(), "run() already took q0");
+        assert!(net.take_outcome(q1).is_none());
+        assert!(outcomes[0].hits.is_empty(), "provider died before server lookup");
+        assert!(outcomes[1].hits.is_empty());
+        assert!(net.events_processed() >= 5);
+        assert!(net.peak_queue_len() >= 2);
+        assert_eq!(net.clock(), 70);
+    }
+
+    #[test]
+    fn event_log_records_processed_events() {
+        let mut net = DesNetwork::napster(2, Box::new(ConstantLatency(1)));
+        net.enable_event_log();
+        net.publish(PeerId(1), track("k1", "ella"));
+        net.schedule_query(0, PeerId(0), "tracks", q("ella"));
+        net.run();
+        let log = net.event_log();
+        assert_eq!(log.len(), 3, "issue + server-query + hits: {log:?}");
+        assert_eq!(log[0], "0 issue q0");
+        assert_eq!(log[1], "1 server-query q0");
+        assert_eq!(log[2], "2 hits q0 n=1");
+    }
+
+    #[test]
+    fn arena_digest_matches_index_node_digest() {
+        let mut arena = RecordArena::new(2);
+        let mut node = IndexNode::new();
+        for (i, artist) in ["miles davis", "john coltrane"].iter().enumerate() {
+            let rec = track(&format!("k{i}"), artist);
+            arena.upsert(0, &rec);
+            node.upsert(PeerId(0), &rec);
+        }
+        // remove one so live-term filtering is exercised
+        arena.remove(0, "k0");
+        node.remove(PeerId(0), "k0");
+        let from_arena = arena.digest_of(0, 10);
+        let mut from_node = RoutingDigest::new(10);
+        from_node.add_node(&node);
+        assert_eq!(from_arena, from_node);
+    }
+
+    #[test]
+    fn arena_upsert_recycles_slots() {
+        let mut arena = RecordArena::new(1);
+        arena.upsert(0, &track("k1", "a"));
+        arena.upsert(0, &track("k2", "b"));
+        arena.remove(0, "k1");
+        arena.upsert(0, &track("k3", "c"));
+        assert_eq!(arena.keys.len(), 2, "slot recycled");
+        assert_eq!(arena.shared_count(0), 2);
+        assert!(arena.has(0, "k2") && arena.has(0, "k3") && !arena.has(0, "k1"));
+        arena.upsert(0, &track("k2", "b2"));
+        assert_eq!(arena.shared_count(0), 2, "upsert replaces");
+        let hits = arena.matches(0, "tracks", &q("b2"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, "k2");
+    }
+
+    #[test]
+    fn approx_bytes_is_deterministic() {
+        let build = || {
+            let mut net = DesNetwork::gnutella(
+                Topology::ring_lattice(16, 2),
+                Box::new(ConstantLatency(3)),
+                FloodingConfig::default(),
+            );
+            for i in 0..8 {
+                net.publish(PeerId(i), track(&format!("k{i}"), "art"));
+            }
+            net.search(PeerId(0), "tracks", &q("art"));
+            net.approx_bytes()
+        };
+        assert_eq!(build(), build());
+        assert!(build() > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Event vocabulary for the whole-network discrete-event engine.
+//!
+//! The step-based substrates simulate each *search* to quiescence on a
+//! private [`crate::sim::EventQueue`]; everything between searches
+//! (churn, digest refreshes, the next query) happens instantaneously
+//! from the simulation's point of view. [`crate::DesNetwork`] promotes
+//! all of those occurrences to first-class timestamped events on one
+//! global virtual-time queue, so a churn storm can land *while* a query
+//! is still in flight. This module defines that event vocabulary.
+
+use crate::message::Time;
+use crate::peer::PeerId;
+
+/// How a query copy propagates. Mirrors the step substrates' modes:
+/// blind flooding uses [`PropMode::Flood`] throughout; guided search
+/// forwards digest-selected copies as [`PropMode::Guided`] and falls
+/// back to TTL'd random walkers ([`PropMode::Walk`]) when no neighbor
+/// digest matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropMode {
+    /// Forward to every neighbor except the sender (baseline).
+    Flood,
+    /// Forward along digest-selected neighbors, capped at the fanout.
+    Guided,
+    /// Random-walk fallback; survives revisits.
+    Walk,
+}
+
+/// One timestamped occurrence on the global DES timeline.
+///
+/// `qid` fields index into the engine's per-query state table; `path`
+/// vectors carry the route travelled so far, *excluding* the
+/// destination (the last element is the immediate sender), exactly as
+/// the step substrates' in-flight query copies do.
+#[derive(Debug, Clone)]
+pub enum DesEvent {
+    /// A scheduled query leaves its origin.
+    QueryIssue {
+        /// Query state index.
+        qid: u32,
+    },
+    /// A Gnutella-style query copy arrives at a peer.
+    FloodQuery {
+        /// Query state index.
+        qid: u32,
+        /// Destination peer.
+        to: PeerId,
+        /// Route travelled so far (last element = immediate sender).
+        path: Vec<u32>,
+        /// Remaining hops.
+        ttl: u8,
+        /// Propagation mode of this copy.
+        mode: PropMode,
+    },
+    /// A FastTrack-style query copy arrives at a super-peer.
+    SuperQuery {
+        /// Query state index.
+        qid: u32,
+        /// Destination super-peer index.
+        to: u32,
+        /// Super indices travelled so far (last = sender).
+        path: Vec<u32>,
+        /// Remaining hops on the super overlay.
+        ttl: u8,
+        /// Propagation mode of this copy.
+        mode: PropMode,
+    },
+    /// A Napster-style query arrives at the index server.
+    ServerQuery {
+        /// Query state index.
+        qid: u32,
+    },
+    /// A batch of hits arrives back at the querying origin.
+    HitDeliver {
+        /// Query state index.
+        qid: u32,
+        /// Newly recorded hits in the batch.
+        hits: u32,
+    },
+    /// A peer's session starts (`online`) or ends.
+    Churn {
+        /// The peer changing liveness.
+        peer: PeerId,
+        /// New liveness.
+        online: bool,
+    },
+    /// A scheduled routing-digest rebuild.
+    DigestRefresh,
+}
+
+impl DesEvent {
+    /// One deterministic log line for the replay tests: everything that
+    /// identifies the event, rendered without hashing or addresses so
+    /// two same-seed runs produce byte-identical logs.
+    pub fn log_line(&self, t: Time) -> String {
+        match self {
+            DesEvent::QueryIssue { qid } => format!("{t} issue q{qid}"),
+            DesEvent::FloodQuery { qid, to, path, ttl, mode } => {
+                format!("{t} query q{qid} -> {to} ttl={ttl} mode={mode:?} path={path:?}")
+            }
+            DesEvent::SuperQuery { qid, to, path, ttl, mode } => {
+                format!("{t} squery q{qid} -> s{to} ttl={ttl} mode={mode:?} path={path:?}")
+            }
+            DesEvent::ServerQuery { qid } => format!("{t} server-query q{qid}"),
+            DesEvent::HitDeliver { qid, hits } => format!("{t} hits q{qid} n={hits}"),
+            DesEvent::Churn { peer, online } => format!("{t} churn {peer} online={online}"),
+            DesEvent::DigestRefresh => format!("{t} digest-refresh"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_lines_are_stable() {
+        let ev = DesEvent::FloodQuery {
+            qid: 3,
+            to: PeerId(7),
+            path: vec![0, 2],
+            ttl: 5,
+            mode: PropMode::Flood,
+        };
+        assert_eq!(ev.log_line(40), "40 query q3 -> peer-7 ttl=5 mode=Flood path=[0, 2]");
+        assert_eq!(DesEvent::DigestRefresh.log_line(9), "9 digest-refresh");
+        assert_eq!(
+            DesEvent::Churn { peer: PeerId(1), online: false }.log_line(2),
+            "2 churn peer-1 online=false"
+        );
+    }
+}

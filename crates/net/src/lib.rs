@@ -41,7 +41,9 @@
 
 mod centralized;
 pub mod churn;
+mod des;
 mod digest;
+mod event;
 mod flooding;
 mod index_node;
 mod latency;
@@ -55,7 +57,9 @@ mod topology;
 mod traits;
 
 pub use centralized::CentralizedNetwork;
+pub use des::DesNetwork;
 pub use digest::{DigestConfig, RouteTable, RoutingDigest};
+pub use event::{DesEvent, PropMode};
 pub use flooding::{FloodingConfig, FloodingNetwork};
 pub use index_node::IndexNode;
 pub use live::LiveNetwork;

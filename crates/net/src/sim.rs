@@ -10,6 +10,25 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A deterministic time-ordered event queue.
+///
+/// Tie-breaking rule: events are popped by **timestamp, then sequence
+/// number** — the sequence is assigned at push time, so two events
+/// scheduled for the same instant come back in push order. This is what
+/// makes every run (and the whole-network [`crate::DesNetwork`] replay
+/// logs) byte-for-byte reproducible for a given seed.
+///
+/// ```
+/// use up2p_net::sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "pushed first");
+/// q.push(10, "pushed second");
+/// q.push(5, "earlier wins regardless of push order");
+/// assert_eq!(q.pop(), Some((5, "earlier wins regardless of push order")));
+/// assert_eq!(q.pop(), Some((10, "pushed first")));
+/// assert_eq!(q.pop(), Some((10, "pushed second")));
+/// assert_eq!(q.pop(), None);
+/// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,

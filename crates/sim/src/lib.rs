@@ -1,7 +1,7 @@
 //! # up2p-sim
 //!
 //! Reproduction harness for the U-P2P paper: corpora, workloads, world
-//! construction and the experiment scenarios E1–E10 whose tables are
+//! construction and the experiment scenarios E1–E11 whose tables are
 //! recorded in EXPERIMENTS.md.
 //!
 //! The paper contains no quantitative evaluation (its three figures are
@@ -38,7 +38,7 @@ pub use report::{fnum, ms, BenchReport, Table};
 pub use scenarios::{
     e1_pipeline, e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation,
     e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale,
-    e10_guided_search, e10_guided_search_report, e8_index_scale_report, e9_search_scale,
-    e9_search_scale_report, run_all, Scale,
+    e10_guided_search, e10_guided_search_report, e11_des_scale, e11_des_scale_report,
+    e8_index_scale_report, e9_search_scale, e9_search_scale_report, run_all, Scale,
 };
 pub use workload::{assign_providers, rng_for, Zipf};

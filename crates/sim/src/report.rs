@@ -135,6 +135,78 @@ impl BenchReport {
         self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
     }
 
+    /// The scenario name this report belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterates the recorded metrics in insertion order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Parses the JSON produced by [`BenchReport::to_json`] back into a
+    /// report — the schema round-trip CI relies on for the committed
+    /// `BENCH_*.json` artifacts. Accepts exactly the flat
+    /// `{"name": …, "metrics": {…}}` shape with numeric or `null`
+    /// values (`null` parses back as NaN, which re-serializes as
+    /// `null`); anything else returns `None`.
+    pub fn from_json(text: &str) -> Option<BenchReport> {
+        let mut p = JsonCursor { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        p.require(b'{')?;
+        let mut name = None;
+        let mut metrics = Vec::new();
+        let mut saw_metrics = false;
+        loop {
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.require(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "name" => name = Some(p.string()?),
+                "metrics" if !saw_metrics => {
+                    saw_metrics = true;
+                    p.require(b'{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.skip_ws();
+                        p.require(b':')?;
+                        p.skip_ws();
+                        let v = if p.eat_word("null") { f64::NAN } else { p.number()? };
+                        metrics.push((k, v));
+                        p.skip_ws();
+                        if !p.eat(b',') {
+                            p.skip_ws();
+                            p.require(b'}')?;
+                            break;
+                        }
+                    }
+                }
+                _ => return None,
+            }
+            p.skip_ws();
+            if !p.eat(b',') {
+                p.skip_ws();
+                p.require(b'}')?;
+                break;
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() || !saw_metrics {
+            return None;
+        }
+        Some(BenchReport { name: name?, metrics })
+    }
+
     /// Renders as a stable JSON object (insertion order preserved;
     /// non-finite values become `null`).
     pub fn to_json(&self) -> String {
@@ -151,6 +223,82 @@ impl BenchReport {
         }
         out.push_str("  }\n}\n");
         out
+    }
+}
+
+/// Byte cursor for the minimal JSON subset [`BenchReport::from_json`]
+/// accepts. Not a general JSON parser: strings support only `\"` and
+/// `\\` escapes (the only ones `to_json` emits), and numbers are
+/// whatever `f64::from_str` takes.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require(&mut self, b: u8) -> Option<()> {
+        self.eat(b).then_some(())
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.require(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    let escaped = self.bytes.get(self.pos + 1)?;
+                    if *escaped != b'"' && *escaped != b'\\' {
+                        return None;
+                    }
+                    out.push(*escaped as char);
+                    self.pos += 2;
+                }
+                &b => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
     }
 }
 
@@ -226,6 +374,34 @@ mod tests {
         // valid object shape: balanced braces, no trailing comma
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn bench_report_from_json_round_trips() {
+        let mut r = BenchReport::new("e11_des_scale");
+        r.push("peers", 100000.0).push("events_per_sec", 1234567.25).push("ratio", 0.5);
+        let json = r.to_json();
+        let parsed = BenchReport::from_json(&json).expect("own output parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), json, "byte-exact round trip");
+        // null metrics survive a full cycle as null
+        r.push("bad", f64::NAN);
+        let json = r.to_json();
+        let parsed = BenchReport::from_json(&json).expect("null metric parses");
+        assert!(parsed.get("bad").is_some_and(f64::is_nan));
+        assert_eq!(parsed.to_json(), json);
+        // malformed shapes are rejected, not mis-parsed
+        for bad in [
+            "",
+            "{}",
+            "[1,2]",
+            "{\"name\": \"x\"}",
+            "{\"name\": \"x\", \"metrics\": {\"k\": }}",
+            "{\"name\": \"x\", \"metrics\": {}, \"extra\": 1}",
+            "{\"name\": \"x\", \"metrics\": {}} trailing",
+        ] {
+            assert!(BenchReport::from_json(bad).is_none(), "accepted: {bad}");
+        }
     }
 
     #[test]

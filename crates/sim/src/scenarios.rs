@@ -1,4 +1,4 @@
-//! The experiment scenarios E1–E10 (see DESIGN.md §4 for the mapping to
+//! The experiment scenarios E1–E11 (see DESIGN.md §4 for the mapping to
 //! the paper's figures and claims). Each function regenerates the
 //! table(s) recorded in EXPERIMENTS.md; all randomness is seeded, so runs
 //! are exactly reproducible.
@@ -1248,6 +1248,137 @@ pub fn e10_guided_search_report(scale: Scale, seed: u64) -> (Table, BenchReport)
     (t, report)
 }
 
+// ---------------------------------------------------------------------
+// E11 — discrete-event engine at 10k/100k peers
+// ---------------------------------------------------------------------
+
+/// One E11 case: build a [`up2p_net::DesNetwork`], publish the
+/// catalogue, schedule the query timeline (plus an optional churn
+/// storm), drain the queue, and record throughput/cost/footprint.
+#[allow(clippy::too_many_arguments)]
+fn e11_case(
+    key: &str,
+    kind: ProtocolKind,
+    peers: usize,
+    seed: u64,
+    config: &up2p_net::NetConfig,
+    churn_storm: bool,
+    t: &mut Table,
+    report: &mut BenchReport,
+) {
+    use up2p_net::{DesNetwork, PeerNetwork, ResourceRecord};
+    let n_records = (peers / 10).max(50);
+    let n_queries = if peers >= 50_000 { 200 } else { 100 };
+
+    let mut net = DesNetwork::build(kind, peers, seed, config);
+    for (i, fields) in corpus::synthetic_track_fields(n_records, seed).into_iter().enumerate() {
+        net.publish(
+            PeerId((i % peers) as u32),
+            ResourceRecord::new(format!("track{i:06}"), "tracks", fields),
+        );
+    }
+    if churn_storm {
+        let horizon = n_queries as u64 * 10_000;
+        net.schedule_churn(&churn::exponential_schedule(peers, horizon, 400_000, 200_000, seed));
+    }
+    for (i, q) in e9_query_mix(n_queries, seed).into_iter().enumerate() {
+        let origin = PeerId(((i * 11 + 5) % peers) as u32);
+        net.schedule_query(i as u64 * 10_000, origin, "tracks", q);
+    }
+    let started = Instant::now();
+    let outcomes = net.run();
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+
+    let with_hits = outcomes.iter().filter(|o| !o.hits.is_empty()).count();
+    let mut msgs = Series::new();
+    for o in &outcomes {
+        msgs.push(o.messages as f64);
+    }
+    let events_per_sec = net.events_processed() as f64 / secs;
+    let success = with_hits as f64 / outcomes.len().max(1) as f64;
+    let bytes_per_peer = net.approx_bytes() as f64 / peers as f64;
+    report.push(&format!("{key}_events_per_sec"), events_per_sec);
+    report.push(&format!("{key}_msgs_per_query"), msgs.mean());
+    report.push(&format!("{key}_success_rate"), success);
+    report.push(&format!("{key}_bytes_per_peer"), bytes_per_peer);
+    t.row([
+        key.replace('_', " "),
+        peers.to_string(),
+        fnum(events_per_sec),
+        fnum(msgs.mean()),
+        format!("{with_hits}/{}", outcomes.len()),
+        fnum(bytes_per_peer),
+        fnum(secs * 1e3),
+    ]);
+}
+
+/// E11: the discrete-event engine at 10k/100k peers (table only).
+pub fn e11_des_scale(scale: Scale, seed: u64) -> Table {
+    e11_des_scale_report(scale, seed).0
+}
+
+/// E11 with the machine-readable metrics alongside the table (written
+/// to `BENCH_e11_des_scale.json` by `run_experiments`). All three
+/// protocols run the full peer grid on the virtual-time engine; the
+/// smaller grid size additionally gets a guided-search row (compact
+/// digests — full-size digests at 10k+ peers would dwarf the record
+/// state) and a FastTrack churn-storm row where liveness flaps land
+/// between message deliveries.
+pub fn e11_des_scale_report(scale: Scale, seed: u64) -> (Table, BenchReport) {
+    use up2p_net::{DigestConfig, NetConfig};
+    let grid: [usize; 2] = match scale {
+        Scale::Full => [10_000, 100_000],
+        Scale::Smoke => [500, 2_000],
+    };
+    let mut t = Table::new(
+        format!("E11: discrete-event engine at scale ({} / {} peers)", grid[0], grid[1]),
+        &["substrate", "peers", "events/sec", "msgs/query", "success", "bytes/peer", "wall ms"],
+    );
+    let mut report = BenchReport::new("e11_des_scale");
+    report.push("peers_small", grid[0] as f64);
+    report.push("peers_large", grid[1] as f64);
+    for peers in grid {
+        for (name, kind) in [
+            ("napster", ProtocolKind::Napster),
+            ("gnutella", ProtocolKind::Gnutella),
+            ("fasttrack", ProtocolKind::FastTrack),
+        ] {
+            e11_case(
+                &format!("{name}_{peers}"),
+                kind,
+                peers,
+                seed,
+                &NetConfig::new(),
+                false,
+                &mut t,
+                &mut report,
+            );
+        }
+    }
+    let small = grid[0];
+    e11_case(
+        &format!("gnutella_guided_{small}"),
+        ProtocolKind::Gnutella,
+        small,
+        seed,
+        &NetConfig::new().digests(DigestConfig { log2_bits: 10, ..DigestConfig::guided() }),
+        false,
+        &mut t,
+        &mut report,
+    );
+    e11_case(
+        &format!("fasttrack_churn_{small}"),
+        ProtocolKind::FastTrack,
+        small,
+        seed,
+        &NetConfig::new(),
+        true,
+        &mut t,
+        &mut report,
+    );
+    (t, report)
+}
+
 /// Runs every scenario at the given scale, returning all tables in
 /// EXPERIMENTS.md order.
 pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
@@ -1265,6 +1396,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Table> {
         e8_index_scale(scale, seed),
         e9_search_scale(scale, seed),
         e10_guided_search(scale, seed),
+        e11_des_scale(scale, seed),
     ]
 }
 
@@ -1481,6 +1613,40 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"name\": \"e10_guided_search\""));
         assert!(json.contains("gnutella_guided_reduction"));
+    }
+
+    #[test]
+    fn e11_smoke_covers_every_substrate_and_round_trips() {
+        let (t, report) = e11_des_scale_report(Scale::Smoke, 7);
+        // 3 protocols × 2 grid sizes + guided + churn rows
+        assert_eq!(t.rows.len(), 8);
+        for key in ["napster_500", "gnutella_500", "fasttrack_500", "fasttrack_churn_500"] {
+            let success = report.get(&format!("{key}_success_rate")).unwrap();
+            assert!(success > 0.0, "{key}: no query found anything at smoke scale");
+            assert!(report.get(&format!("{key}_events_per_sec")).unwrap() > 0.0);
+        }
+        // guided search pays digest state but cuts per-query messages
+        let flood = report.get("gnutella_500_msgs_per_query").unwrap();
+        let guided = report.get("gnutella_guided_500_msgs_per_query").unwrap();
+        assert!(guided < flood, "guided {guided:.1} should undercut flood {flood:.1}");
+        // the JSON artifact round-trips through the report parser
+        let json = report.to_json();
+        let parsed = BenchReport::from_json(&json).expect("bench JSON parses");
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn e11_is_deterministic_modulo_wall_clock() {
+        let run = || {
+            let (t, _) = e11_des_scale_report(Scale::Smoke, 11);
+            // drop the wall-clock and events/sec columns; all remaining
+            // cells are functions of the seed alone
+            t.rows
+                .iter()
+                .map(|r| [&r[0], &r[1], &r[3], &r[4], &r[5]].map(String::from))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! E9 (multi-core serving plane): compile-once stylesheet cache vs
+//! parse-per-call — what [`StylesheetCache`] buys a servent that renders
+//! many objects through the same community sheets. The grid isolates the
+//! three costs: compiling a sheet, a warm cache hit (hash + read-lock
+//! lookup), and the end-to-end apply with and without the cache.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use up2p_core::stylesheets::default_index_xsl;
+use up2p_core::{Community, FormKind, FormModel, StylesheetCache};
+use up2p_schema::{FieldKind, SchemaBuilder};
+use up2p_xslt::Stylesheet;
+
+/// E2-shape community of `n` fields — the same schema family the
+/// generation bench measures, so the sheet sizes line up across benches.
+fn community_of_width(n: usize) -> Community {
+    let mut b = SchemaBuilder::new("object");
+    for i in 0..n {
+        let f = match i % 4 {
+            0 => FieldKind::text(format!("text{i}")).searchable(),
+            1 => FieldKind::integer(format!("num{i}")),
+            2 => FieldKind::enumeration(format!("enum{i}"), ["a", "b", "c"]).searchable(),
+            _ => FieldKind::uri(format!("uri{i}")),
+        };
+        b.field(f);
+    }
+    Community::from_builder("cache", "d", "k", "c", "", &b).expect("valid")
+}
+
+fn bench_stylesheet_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_stylesheet_cache");
+    for &n in &[4usize, 16, 64] {
+        let community = community_of_width(n);
+        let xsl = default_index_xsl(&community);
+        let doc = FormModel::derive(&community, FormKind::Create).to_document();
+
+        g.bench_with_input(BenchmarkId::new("compile_only", n), &xsl, |b, xsl| {
+            b.iter(|| Stylesheet::parse(black_box(xsl)).unwrap().template_count())
+        });
+
+        // the pre-cache serving path: every application recompiles
+        g.bench_with_input(BenchmarkId::new("parse_per_call", n), &(&xsl, &doc), |b, (xsl, doc)| {
+            b.iter(|| {
+                let sheet = Stylesheet::parse(black_box(*xsl)).unwrap();
+                sheet.apply_to_string(black_box(*doc)).unwrap()
+            })
+        });
+
+        // warm local cache: the sheet compiles once, every iteration is a
+        // hash + read-lock lookup plus the apply itself
+        let cache = StylesheetCache::new();
+        cache.get(&xsl).expect("sheet compiles");
+        g.bench_with_input(BenchmarkId::new("cached_apply", n), &(&xsl, &doc), |b, (xsl, doc)| {
+            b.iter(|| {
+                let sheet = cache.get(black_box(*xsl)).unwrap();
+                sheet.apply_to_string(black_box(*doc)).unwrap()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("cache_hit_lookup", n), &xsl, |b, xsl| {
+            b.iter(|| cache.get(black_box(xsl)).unwrap().template_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stylesheet_cache);
+criterion_main!(benches);

@@ -58,3 +58,4 @@ pub use object::{Attachment, SharedObject};
 pub use payload::PayloadPlane;
 pub use root::{COMMUNITY_FIELDS, ROOT_COMMUNITY_ID, ROOT_SCHEMA_XSD};
 pub use servent::Servent;
+pub use stylesheets::StylesheetCache;

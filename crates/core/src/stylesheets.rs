@@ -10,8 +10,141 @@
 
 use crate::community::Community;
 use crate::error::CoreError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use up2p_xml::Document;
 use up2p_xslt::Stylesheet;
+
+/// Compile-once stylesheet store: maps stylesheet *content* to its
+/// compiled [`Stylesheet`], so the render paths pay XSLT compilation once
+/// per distinct sheet instead of once per call. Keys are an FNV-1a hash
+/// of the source; each bucket stores the source text alongside the
+/// compiled sheet, so a hash collision degrades to a second compile, not
+/// a wrong answer. Compiled sheets are shared as `Arc<Stylesheet>` —
+/// [`Stylesheet`] is immutable after parse, so pool workers serving
+/// concurrent renders read the same compiled program.
+///
+/// Parse errors are never cached: a broken custom stylesheet reports its
+/// error on every call and leaves the cache untouched.
+pub struct StylesheetCache {
+    sheets: RwLock<HashMap<u64, Vec<CachedSheet>>>,
+}
+
+struct CachedSheet {
+    source: String,
+    sheet: Arc<Stylesheet>,
+}
+
+impl StylesheetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        StylesheetCache { sheets: RwLock::with_name("core.style_cache", HashMap::new()) }
+    }
+
+    /// The process-wide cache used by [`render_form`], [`render_view`]
+    /// and [`apply_index_style`].
+    pub fn global() -> &'static StylesheetCache {
+        static GLOBAL: OnceLock<StylesheetCache> = OnceLock::new();
+        GLOBAL.get_or_init(StylesheetCache::new)
+    }
+
+    /// Returns the compiled stylesheet for `source`, compiling and
+    /// caching it on first sight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stylesheet`] when the source fails to
+    /// compile (nothing is cached in that case).
+    pub fn get(&self, source: &str) -> Result<Arc<Stylesheet>, CoreError> {
+        let key = fnv1a(source.as_bytes());
+        {
+            let sheets = self.sheets.read();
+            if let Some(found) = Self::lookup(&sheets, key, source) {
+                return Ok(found);
+            }
+        }
+        // Compile outside any lock: compilation may be slow and may
+        // fail, and neither should happen under the write guard.
+        let compiled = Arc::new(Stylesheet::parse(source)?);
+        let mut sheets = self.sheets.write();
+        // Double-check: another thread may have compiled it meanwhile.
+        if let Some(found) = Self::lookup(&sheets, key, source) {
+            return Ok(found);
+        }
+        sheets
+            .entry(key)
+            .or_default()
+            .push(CachedSheet { source: source.to_string(), sheet: Arc::clone(&compiled) });
+        Ok(compiled)
+    }
+
+    fn lookup(
+        sheets: &HashMap<u64, Vec<CachedSheet>>,
+        key: u64,
+        source: &str,
+    ) -> Option<Arc<Stylesheet>> {
+        sheets
+            .get(&key)?
+            .iter()
+            .find(|c| c.source == source)
+            .map(|c| Arc::clone(&c.sheet))
+    }
+
+    /// Number of distinct compiled stylesheets held.
+    pub fn len(&self) -> usize {
+        self.sheets.read().values().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for StylesheetCache {
+    fn default() -> Self {
+        StylesheetCache::new()
+    }
+}
+
+impl std::fmt::Debug for StylesheetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StylesheetCache").field("sheets", &self.len()).finish()
+    }
+}
+
+/// FNV-1a over the stylesheet source — stable, dependency-free, and good
+/// enough as a cache key when collisions are verified against the stored
+/// source.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The compiled [`DEFAULT_FORM_XSL`], parsed once per process.
+fn default_form_sheet() -> Result<Arc<Stylesheet>, CoreError> {
+    static SHEET: OnceLock<Arc<Stylesheet>> = OnceLock::new();
+    if let Some(sheet) = SHEET.get() {
+        return Ok(Arc::clone(sheet));
+    }
+    let parsed = Arc::new(Stylesheet::parse(DEFAULT_FORM_XSL)?);
+    Ok(Arc::clone(SHEET.get_or_init(|| parsed)))
+}
+
+/// The compiled [`DEFAULT_VIEW_XSL`], parsed once per process.
+fn default_view_sheet() -> Result<Arc<Stylesheet>, CoreError> {
+    static SHEET: OnceLock<Arc<Stylesheet>> = OnceLock::new();
+    if let Some(sheet) = SHEET.get() {
+        return Ok(Arc::clone(sheet));
+    }
+    let parsed = Arc::new(Stylesheet::parse(DEFAULT_VIEW_XSL)?);
+    Ok(Arc::clone(SHEET.get_or_init(|| parsed)))
+}
 
 /// Default stylesheet rendering a form-model document to an HTML form
 /// (both create and search; the `kind` attribute parameterizes it).
@@ -118,7 +251,10 @@ pub fn default_index_xsl(community: &Community) -> String {
 /// Returns [`CoreError::Stylesheet`] when the stylesheet fails to compile
 /// or apply.
 pub fn render_form(form_doc: &Document, custom: Option<&str>) -> Result<String, CoreError> {
-    let sheet = Stylesheet::parse(custom.unwrap_or(DEFAULT_FORM_XSL))?;
+    let sheet = match custom {
+        Some(source) => StylesheetCache::global().get(source)?,
+        None => default_form_sheet()?,
+    };
     Ok(sheet.apply_to_string(form_doc)?)
 }
 
@@ -129,7 +265,10 @@ pub fn render_form(form_doc: &Document, custom: Option<&str>) -> Result<String, 
 ///
 /// Returns [`CoreError::Stylesheet`] on stylesheet failure.
 pub fn render_view(object_doc: &Document, custom: Option<&str>) -> Result<String, CoreError> {
-    let sheet = Stylesheet::parse(custom.unwrap_or(DEFAULT_VIEW_XSL))?;
+    let sheet = match custom {
+        Some(source) => StylesheetCache::global().get(source)?,
+        None => default_view_sheet()?,
+    };
     Ok(sheet.apply_to_string(object_doc)?)
 }
 
@@ -143,7 +282,7 @@ pub fn apply_index_style(
     xslt: &str,
     object_doc: &Document,
 ) -> Result<Vec<(String, String)>, CoreError> {
-    let sheet = Stylesheet::parse(xslt)?;
+    let sheet = StylesheetCache::global().get(xslt)?;
     let result = sheet.apply(object_doc)?;
     let mut out = Vec::new();
     let Some(root) = result.document_element() else {
@@ -251,5 +390,52 @@ mod tests {
             render_view(&doc, Some("<not-xslt/>")),
             Err(CoreError::Stylesheet(_))
         ));
+    }
+
+    #[test]
+    fn cache_compiles_each_distinct_sheet_once() {
+        let cache = StylesheetCache::new();
+        let a = cache.get(DEFAULT_VIEW_XSL).unwrap();
+        let b = cache.get(DEFAULT_VIEW_XSL).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second get returns the same compiled sheet");
+        assert_eq!(cache.len(), 1);
+        let c = cache.get(DEFAULT_FORM_XSL).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_never_stores_broken_sheets() {
+        let cache = StylesheetCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get("<not-xslt/>").is_err());
+        assert!(cache.get("<not-xslt/>").is_err(), "error repeats, not cached away");
+        assert!(cache.is_empty(), "a failed compile leaves the cache untouched");
+    }
+
+    #[test]
+    fn default_sheets_are_parsed_once_per_process() {
+        let a = default_form_sheet().unwrap();
+        let b = default_form_sheet().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let v1 = default_view_sheet().unwrap();
+        let v2 = default_view_sheet().unwrap();
+        assert!(Arc::ptr_eq(&v1, &v2));
+    }
+
+    #[test]
+    fn concurrent_gets_converge_on_one_compiled_sheet() {
+        let cache = StylesheetCache::new();
+        let sheets: Vec<Arc<Stylesheet>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get(DEFAULT_VIEW_XSL).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1, "all threads share one cache entry");
+        // losers of the compile race return the winner's entry, so every
+        // caller holds the same compiled sheet
+        let winner = cache.get(DEFAULT_VIEW_XSL).unwrap();
+        assert!(sheets.iter().all(|s| Arc::ptr_eq(s, &winner)));
     }
 }

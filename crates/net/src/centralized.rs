@@ -5,24 +5,27 @@
 //! request/response round trip; retrieve is a direct connection to the
 //! provider learned from the hit. The server answers only with records
 //! whose provider is currently online (Napster dropped a user's records
-//! with their session). The server's records live in an [`IndexNode`],
-//! so query evaluation is a posting-list lookup, not a scan over every
-//! stored record.
+//! with their session). The server's records live in a
+//! [`ShardedIndexNode`] — the community-sharded, read-mostly table —
+//! so query evaluation is a posting-list lookup behind read guards, and
+//! [`PeerNetwork::search_batch`] serves many in-flight queries from a
+//! thread pool at once (the multi-core serving plane E9 measures).
 
-use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, Time};
 use crate::peer::PeerId;
+use crate::pool::serve_batch;
+use crate::sharded::ShardedIndexNode;
 use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
-use crate::traits::PeerNetwork;
+use crate::traits::{PeerNetwork, SearchRequest};
 use up2p_store::Query;
 
 /// The centralized (Napster) substrate.
 pub struct CentralizedNetwork {
     alive: Vec<bool>,
-    /// The server's indexed record table.
-    server: IndexNode,
-    latency: Box<dyn LatencyModel + Send>,
+    /// The server's indexed record table, sharded by community.
+    server: ShardedIndexNode,
+    latency: Box<dyn LatencyModel + Send + Sync>,
     stats: NetStats,
 }
 
@@ -38,10 +41,10 @@ impl std::fmt::Debug for CentralizedNetwork {
 impl CentralizedNetwork {
     /// Creates a network of `n` peers, all online, with the given link
     /// latency model (used for peer↔server and peer↔peer links alike).
-    pub fn new(n: usize, latency: Box<dyn LatencyModel + Send>) -> Self {
+    pub fn new(n: usize, latency: Box<dyn LatencyModel + Send + Sync>) -> Self {
         CentralizedNetwork {
             alive: vec![true; n],
-            server: IndexNode::new(),
+            server: ShardedIndexNode::new(),
             latency,
             stats: NetStats::new(),
         }
@@ -125,6 +128,63 @@ impl PeerNetwork for CentralizedNetwork {
             outcome.first_hit_latency = Some(outcome.latency);
         }
         outcome
+    }
+
+    fn search_batch(&mut self, requests: &[SearchRequest], workers: usize) -> Vec<SearchOutcome> {
+        // the latency model is stateful (&mut), so the per-request RTTs
+        // are sampled sequentially in request order — the same call
+        // sequence sequential serving makes — before the parallel phase
+        let mut rtts: Vec<Option<Time>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            let rtt =
+                if self.is_alive(r.origin) { Some(self.rtt(r.origin, SERVER)) } else { None };
+            rtts.push(rtt);
+        }
+        // parallel phase: read-guard-only evaluation against the shared
+        // sharded server from the worker pool
+        let server = &self.server;
+        let alive = &self.alive;
+        let outcomes = serve_batch(workers, requests.len(), |i| {
+            let r = &requests[i];
+            let mut outcome = SearchOutcome::default();
+            let Some(latency) = rtts.get(i).copied().flatten() else { return outcome };
+            outcome.messages = 2;
+            outcome.latency = latency;
+            server.search(
+                &r.community,
+                &r.query,
+                |p| alive.get(p.index()).copied().unwrap_or(false),
+                |key, provider, fields| {
+                    outcome.hits.push(SearchHit {
+                        key: key.to_string(),
+                        provider,
+                        fields: fields.clone(),
+                        hops: 1,
+                    });
+                },
+            );
+            if !outcome.hits.is_empty() {
+                outcome.first_hit_latency = Some(latency);
+            }
+            outcome
+        });
+        // stats merge in request order: identical totals and by_kind()
+        // view to issuing the batch through `search` one at a time
+        for (outcome, rtt) in outcomes.iter().zip(&rtts) {
+            self.stats.queries += 1;
+            if rtt.is_none() {
+                continue;
+            }
+            self.stats.sent(MsgKind::Query);
+            self.stats.sent(MsgKind::QueryHit);
+            for _ in &outcome.hits {
+                self.stats.hit(1);
+            }
+            if !outcome.hits.is_empty() {
+                self.stats.queries_with_hits += 1;
+            }
+        }
+        outcomes
     }
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
@@ -259,6 +319,52 @@ mod tests {
         assert!(!net.retrieve(PeerId(0), PeerId(1), "k1").is_fetched());
         assert_eq!(net.stats().messages, before, "a dead peer cannot send");
         assert_eq!(net.stats().retrieves, 1);
+    }
+
+    #[test]
+    fn batch_serving_is_exactly_sequential_serving() {
+        // same requests through search() and search_batch() on twin
+        // networks: outcomes and cumulative stats must be identical,
+        // including the stateful (seeded) latency model's RTT stream
+        use crate::latency::UniformLatency;
+        for workers in [1, 4] {
+            let build = || {
+                let mut n = CentralizedNetwork::new(8, Box::new(UniformLatency::new(1_000, 9_000, 7)));
+                n.publish(PeerId(1), record("k1", "patterns", "Observer"));
+                n.publish(PeerId(2), record("k2", "patterns", "Visitor Observer"));
+                n.publish(PeerId(3), record("k3", "songs", "Jazz"));
+                n.set_alive(PeerId(5), false);
+                n
+            };
+            let requests = vec![
+                SearchRequest::new(PeerId(0), "patterns", Query::any_keyword("observer")),
+                SearchRequest::new(PeerId(5), "patterns", Query::any_keyword("observer")),
+                SearchRequest::new(PeerId(4), "songs", Query::any_keyword("jazz")),
+                SearchRequest::new(PeerId(6), "songs", Query::any_keyword("absent")),
+            ];
+            let mut sequential = build();
+            let expected: Vec<SearchOutcome> = requests
+                .iter()
+                .map(|r| sequential.search(r.origin, &r.community, &r.query))
+                .collect();
+            let mut batched = build();
+            let got = batched.search_batch(&requests, workers);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.messages, e.messages);
+                assert_eq!(g.latency, e.latency);
+                assert_eq!(g.first_hit_latency, e.first_hit_latency);
+                let key = |h: &SearchHit| (h.key.clone(), h.provider, h.hops);
+                assert_eq!(g.hits.iter().map(key).collect::<Vec<_>>(), e.hits.iter().map(key).collect::<Vec<_>>());
+            }
+            let (s, b) = (sequential.stats(), batched.stats());
+            assert_eq!(s.messages, b.messages, "workers={workers}");
+            assert_eq!(s.by_kind(), b.by_kind());
+            assert_eq!(s.queries, b.queries);
+            assert_eq!(s.queries_with_hits, b.queries_with_hits);
+            assert_eq!(s.hits, b.hits);
+            assert_eq!(s.hit_hops, b.hit_hops);
+        }
     }
 
     #[test]

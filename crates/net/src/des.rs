@@ -274,7 +274,7 @@ pub struct DesNetwork {
     kind: ProtocolKind,
     state: Protocol,
     alive: Vec<bool>,
-    latency: Box<dyn LatencyModel + Send>,
+    latency: Box<dyn LatencyModel + Send + Sync>,
     stats: NetStats,
     queue: EventQueue<DesEvent>,
     queries: Vec<QueryState>,
@@ -303,7 +303,7 @@ impl DesNetwork {
     fn with_state(
         kind: ProtocolKind,
         peers: usize,
-        latency: Box<dyn LatencyModel + Send>,
+        latency: Box<dyn LatencyModel + Send + Sync>,
         state: Protocol,
     ) -> DesNetwork {
         DesNetwork {
@@ -322,7 +322,7 @@ impl DesNetwork {
     }
 
     /// Napster semantics: every peer talks to one central index server.
-    pub fn napster(peers: usize, latency: Box<dyn LatencyModel + Send>) -> DesNetwork {
+    pub fn napster(peers: usize, latency: Box<dyn LatencyModel + Send + Sync>) -> DesNetwork {
         let state = Protocol::Napster(Box::new(NapsterState { server: IndexNode::new() }));
         DesNetwork::with_state(ProtocolKind::Napster, peers, latency, state)
     }
@@ -332,7 +332,7 @@ impl DesNetwork {
     /// pick the same neighbors.
     pub fn gnutella(
         topology: Topology,
-        latency: Box<dyn LatencyModel + Send>,
+        latency: Box<dyn LatencyModel + Send + Sync>,
         config: FloodingConfig,
     ) -> DesNetwork {
         let peers = topology.len();
@@ -352,7 +352,7 @@ impl DesNetwork {
     pub fn fasttrack(
         peers: usize,
         config: SuperPeerConfig,
-        latency: Box<dyn LatencyModel + Send>,
+        latency: Box<dyn LatencyModel + Send + Sync>,
         seed: u64,
     ) -> DesNetwork {
         assert!(config.supers > 0 && config.supers <= peers, "invalid super count");
@@ -1115,7 +1115,7 @@ fn forward_guided_des(
     topology: &Topology,
     routes: &RouteTable,
     walk_rng: &mut StdRng,
-    latency: &mut (dyn LatencyModel + Send),
+    latency: &mut (dyn LatencyModel + Send + Sync),
     stats: &mut NetStats,
     messages: &mut u64,
     pending: &mut u32,

@@ -67,7 +67,7 @@ pub struct FloodingNetwork {
     /// Per-peer local share table (each peer indexes only its own
     /// records; the provider of every record at slot `i` is peer `i`).
     shared: Vec<IndexNode>,
-    latency: Box<dyn LatencyModel + Send>,
+    latency: Box<dyn LatencyModel + Send + Sync>,
     config: FloodingConfig,
     stats: NetStats,
     /// Per-directed-edge attenuated digests (guided search only).
@@ -102,7 +102,7 @@ impl FloodingNetwork {
     /// online.
     pub fn new(
         topology: Topology,
-        latency: Box<dyn LatencyModel + Send>,
+        latency: Box<dyn LatencyModel + Send + Sync>,
         config: FloodingConfig,
     ) -> Self {
         let n = topology.len();

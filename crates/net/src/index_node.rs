@@ -12,6 +12,11 @@
 //! Sub-indexes are created lazily, on the first record published into a
 //! community; provider liveness is applied to the candidate set the
 //! index produces, never to the full corpus.
+//!
+//! The per-community slice lives in [`CommunityTable`] so the
+//! single-threaded [`IndexNode`] and the read-mostly
+//! [`crate::ShardedIndexNode`] share one implementation of the
+//! first-record-wins / last-provider-out semantics.
 
 use crate::message::{ResourceRecord, SharedFields};
 use crate::peer::PeerId;
@@ -19,14 +24,109 @@ use std::collections::{BTreeSet, HashMap};
 use up2p_store::{MetadataIndex, Query, ResourceId};
 
 /// One community's slice of an index node: the inverted metadata index
-/// plus the provider set per record.
+/// plus the provider set per record. [`IndexNode`] holds these inline;
+/// [`crate::ShardedIndexNode`] puts each behind its own `RwLock` shard.
 #[derive(Debug, Default)]
-struct CommunityIndex {
+pub(crate) struct CommunityTable {
     index: MetadataIndex,
     /// Record key → peers currently advertising the record. `BTreeSet`
     /// keeps per-record hit emission deterministic (ascending peer id,
     /// as the pre-index scan produced).
     providers: HashMap<ResourceId, BTreeSet<PeerId>>,
+}
+
+impl CommunityTable {
+    /// Adds `provider` to an already-indexed key. Returns `false` when
+    /// the key is not present here (caller indexes the record fresh).
+    pub(crate) fn add_provider(&mut self, key: &str, provider: PeerId) -> bool {
+        match self.providers.get_mut(key) {
+            Some(set) => {
+                set.insert(provider);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Indexes a fresh record (one refcount bump on the shared metadata)
+    /// with `provider` as its first advertiser.
+    pub(crate) fn index_record(&mut self, id: ResourceId, provider: PeerId, fields: &SharedFields) {
+        self.index.insert_shared(id.clone(), SharedFields::clone(fields));
+        self.providers.insert(id, BTreeSet::from([provider]));
+    }
+
+    /// Removes the record and its postings outright, returning the
+    /// provider set it had (for upsert's provider-preserving replace).
+    pub(crate) fn take_record(&mut self, key: &str) -> Option<(ResourceId, BTreeSet<PeerId>)> {
+        let (id, providers) = self.providers.remove_entry(key)?;
+        self.index.remove(&id);
+        Some((id, providers))
+    }
+
+    /// Merges `extra` into the record's provider set (no-op when the key
+    /// is absent).
+    pub(crate) fn extend_providers(&mut self, key: &str, extra: BTreeSet<PeerId>) {
+        if let Some(set) = self.providers.get_mut(key) {
+            set.extend(extra);
+        }
+    }
+
+    /// Withdraws `provider`'s copy of the record. When the last provider
+    /// leaves, the record's postings are removed from the sub-index
+    /// (targeted replay — cost proportional to the record, not the
+    /// index). Returns `true` exactly when the record disappeared.
+    pub(crate) fn remove_provider(&mut self, key: &str, provider: PeerId) -> bool {
+        let Some(providers) = self.providers.get_mut(key) else { return false };
+        providers.remove(&provider);
+        if !providers.is_empty() {
+            return false;
+        }
+        if let Some((id, _)) = self.providers.remove_entry(key) {
+            self.index.remove(&id);
+        }
+        true
+    }
+
+    /// Is `provider` currently advertising the record?
+    pub(crate) fn has_provider(&self, key: &str, provider: PeerId) -> bool {
+        self.providers.get(key).is_some_and(|set| set.contains(&provider))
+    }
+
+    /// Number of providers advertising the record.
+    pub(crate) fn provider_count(&self, key: &str) -> usize {
+        self.providers.get(key).map_or(0, BTreeSet::len)
+    }
+
+    /// `true` when no live records remain in this community.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Visits each live interned term (keyword token or normalized exact
+    /// value) of this community — the digest vocabulary.
+    pub(crate) fn for_each_live_term<F: FnMut(&str)>(&self, f: F) {
+        self.index.for_each_live_term(f);
+    }
+
+    /// Evaluates a query against this community's records, invoking
+    /// `emit(key, provider, fields)` for every (record, live provider)
+    /// pair. Candidates arrive in insertion order, providers in
+    /// ascending peer id.
+    pub(crate) fn search<A, E>(&self, query: &Query, alive: A, mut emit: E)
+    where
+        A: Fn(PeerId) -> bool,
+        E: FnMut(&str, PeerId, &SharedFields),
+    {
+        self.index.for_each_match(query, |id, fields| {
+            if let Some(providers) = self.providers.get(id) {
+                for &p in providers {
+                    if alive(p) {
+                        emit(id.as_hex(), p, fields);
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// A community-partitioned metadata index held by one record-storing
@@ -48,7 +148,7 @@ pub struct IndexNode {
     /// Community name → slot in `communities` (sub-indexes are created
     /// lazily on first publish).
     names: HashMap<String, u32>,
-    communities: Vec<CommunityIndex>,
+    communities: Vec<CommunityTable>,
     /// Record key → community slot, for community-blind removal and
     /// provider checks.
     by_key: HashMap<ResourceId, u32>,
@@ -83,9 +183,7 @@ impl IndexNode {
     /// the first-record-wins semantics the linear tables had.
     pub fn insert(&mut self, provider: PeerId, record: &ResourceRecord) {
         if let Some(&slot) = self.by_key.get(record.key.as_str()) {
-            let community = &mut self.communities[slot as usize];
-            if let Some(providers) = community.providers.get_mut(record.key.as_str()) {
-                providers.insert(provider);
+            if self.communities[slot as usize].add_provider(record.key.as_str(), provider) {
                 return;
             }
             // key table and provider table disagree (should not happen);
@@ -97,14 +195,12 @@ impl IndexNode {
             None => {
                 let slot = self.communities.len() as u32;
                 self.names.insert(record.community.clone(), slot);
-                self.communities.push(CommunityIndex::default());
+                self.communities.push(CommunityTable::default());
                 slot
             }
         };
         let id = ResourceId::from_key(&record.key);
-        let community = &mut self.communities[slot as usize];
-        community.index.insert_shared(id.clone(), SharedFields::clone(&record.fields));
-        community.providers.insert(id.clone(), BTreeSet::from([provider]));
+        self.communities[slot as usize].index_record(id.clone(), provider, &record.fields);
         self.by_key.insert(id, slot);
     }
 
@@ -115,37 +211,23 @@ impl IndexNode {
     /// wholesale). Providers accumulated under the old record are kept.
     pub fn upsert(&mut self, provider: PeerId, record: &ResourceRecord) {
         let previous = self.by_key.get(record.key.as_str()).copied().and_then(|slot| {
-            let community = &mut self.communities[slot as usize];
-            let (id, providers) = community.providers.remove_entry(record.key.as_str())?;
-            community.index.remove(&id);
+            let taken = self.communities[slot as usize].take_record(record.key.as_str())?;
             self.by_key.remove(record.key.as_str());
-            Some(providers)
+            Some(taken.1)
         });
         self.insert(provider, record);
         if let Some(old_providers) = previous {
             if let Some(&slot) = self.by_key.get(record.key.as_str()) {
-                if let Some(set) =
-                    self.communities[slot as usize].providers.get_mut(record.key.as_str())
-                {
-                    set.extend(old_providers);
-                }
+                self.communities[slot as usize].extend_providers(record.key.as_str(), old_providers);
             }
         }
     }
 
-    /// Withdraws `provider`'s copy of the record. When the last provider
-    /// leaves, the record's postings are removed from the sub-index
-    /// (targeted replay — cost proportional to the record, not the
-    /// index).
+    /// Withdraws `provider`'s copy of the record; the record's postings
+    /// disappear with its last provider.
     pub fn remove(&mut self, provider: PeerId, key: &str) {
         let Some(&slot) = self.by_key.get(key) else { return };
-        let community = &mut self.communities[slot as usize];
-        let Some(providers) = community.providers.get_mut(key) else { return };
-        providers.remove(&provider);
-        if providers.is_empty() {
-            if let Some((id, _)) = community.providers.remove_entry(key) {
-                community.index.remove(&id);
-            }
+        if self.communities[slot as usize].remove_provider(key, provider) {
             self.by_key.remove(key);
         }
     }
@@ -154,16 +236,14 @@ impl IndexNode {
     pub fn has_provider(&self, key: &str, provider: PeerId) -> bool {
         self.by_key
             .get(key)
-            .and_then(|&slot| self.communities[slot as usize].providers.get(key))
-            .is_some_and(|set| set.contains(&provider))
+            .is_some_and(|&slot| self.communities[slot as usize].has_provider(key, provider))
     }
 
     /// Number of providers advertising the record.
     pub fn provider_count(&self, key: &str) -> usize {
         self.by_key
             .get(key)
-            .and_then(|&slot| self.communities[slot as usize].providers.get(key))
-            .map_or(0, BTreeSet::len)
+            .map_or(0, |&slot| self.communities[slot as usize].provider_count(key))
     }
 
     /// Visits every digest entry this node's share table advertises:
@@ -179,11 +259,11 @@ impl IndexNode {
     {
         for (name, &slot) in &self.names {
             let sub = &self.communities[slot as usize];
-            if sub.index.is_empty() {
+            if sub.is_empty() {
                 continue;
             }
             f(name, None);
-            sub.index.for_each_live_term(|term| f(name, Some(term)));
+            sub.for_each_live_term(|term| f(name, Some(term)));
         }
     }
 
@@ -192,22 +272,13 @@ impl IndexNode {
     /// provider) pair. `alive` filters the candidate set the index
     /// produced — the full corpus is never scanned. Candidates arrive in
     /// insertion order, providers in ascending peer id.
-    pub fn search<A, E>(&self, community: &str, query: &Query, alive: A, mut emit: E)
+    pub fn search<A, E>(&self, community: &str, query: &Query, alive: A, emit: E)
     where
         A: Fn(PeerId) -> bool,
         E: FnMut(&str, PeerId, &SharedFields),
     {
         let Some(&slot) = self.names.get(community) else { return };
-        let sub = &self.communities[slot as usize];
-        sub.index.for_each_match(query, |id, fields| {
-            if let Some(providers) = sub.providers.get(id) {
-                for &p in providers {
-                    if alive(p) {
-                        emit(id.as_hex(), p, fields);
-                    }
-                }
-            }
-        });
+        self.communities[slot as usize].search(query, alive, emit);
     }
 }
 

@@ -50,6 +50,8 @@ mod latency;
 mod live;
 mod message;
 mod peer;
+mod pool;
+mod sharded;
 pub mod sim;
 mod stats;
 mod superpeer;
@@ -66,10 +68,12 @@ pub use live::LiveNetwork;
 pub use latency::{ConstantLatency, CoordinateLatency, LatencyModel, LatencySpec, UniformLatency};
 pub use message::{Message, MessageKind, ResourceRecord, SearchHit, SharedFields, Time, DEFAULT_TTL};
 pub use peer::PeerId;
+pub use pool::serve_batch;
+pub use sharded::ShardedIndexNode;
 pub use stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 pub use superpeer::{SuperPeerConfig, SuperPeerNetwork};
 pub use topology::Topology;
-pub use traits::{PeerNetwork, ProtocolKind};
+pub use traits::{PeerNetwork, ProtocolKind, SearchRequest};
 
 /// Substrate construction parameters, previously hard-coded in
 /// [`build_network`]: latency model, flooding TTL / dedup, and super-peer

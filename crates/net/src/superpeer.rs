@@ -12,10 +12,11 @@ use crate::index_node::IndexNode;
 use crate::latency::LatencyModel;
 use crate::message::{ResourceRecord, SearchHit, Time};
 use crate::peer::PeerId;
+use crate::pool::serve_batch;
 use crate::sim::EventQueue;
 use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use crate::topology::Topology;
-use crate::traits::PeerNetwork;
+use crate::traits::{PeerNetwork, SearchRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashSet};
@@ -64,7 +65,7 @@ pub struct SuperPeerNetwork {
     /// Per-peer owned object keys (for retrieval).
     owned: Vec<BTreeSet<String>>,
     alive: Vec<bool>,
-    latency: Box<dyn LatencyModel + Send>,
+    latency: Box<dyn LatencyModel + Send + Sync>,
     stats: NetStats,
     /// Per-directed-edge attenuated digests over the super overlay.
     routes: RouteTable,
@@ -90,6 +91,262 @@ struct SuperQueryEvent {
     mode: Propagation,
 }
 
+/// Read-only borrow of everything one query evaluation consults — the
+/// serving plane of the super overlay. [`SuperPeerNetwork::search`]
+/// builds it next to the mutable accounting (latency model, walker rng,
+/// statistics), and `search_batch` shares one plane across pool workers,
+/// giving each request a forked latency model, its own seeded walker rng
+/// and a private [`NetStats`] merged back in request order.
+struct ServePlane<'a> {
+    config: &'a SuperPeerConfig,
+    super_of: &'a [usize],
+    super_topology: &'a Topology,
+    indexes: &'a [IndexNode],
+    alive: &'a [bool],
+    routes: &'a RouteTable,
+}
+
+impl ServePlane<'_> {
+    fn is_alive(&self, peer: PeerId) -> bool {
+        self.alive.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    fn is_super(&self, peer: PeerId) -> bool {
+        peer.index() < self.config.supers
+    }
+
+    fn super_peer_id(&self, super_index: usize) -> PeerId {
+        PeerId(super_index as u32)
+    }
+
+    /// Forwards one guided query copy across the super overlay:
+    /// digest-selected neighbors first, random walkers as the fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_guided(
+        &self,
+        latency: &mut dyn LatencyModel,
+        walk_rng: &mut StdRng,
+        stats: &mut NetStats,
+        t: Time,
+        from: usize,
+        sender: Option<usize>,
+        path: &[usize],
+        ttl: u8,
+        community: &str,
+        query: &Query,
+        walk_width: usize,
+        outcome: &mut SearchOutcome,
+        queue: &mut EventQueue<SuperQueryEvent>,
+    ) {
+        if ttl == 0 {
+            return;
+        }
+        let mut candidates: Vec<(u8, usize)> = self
+            .super_topology
+            .neighbors(PeerId(from as u32))
+            .map(|p| p.index())
+            .filter(|&nb| Some(nb) != sender)
+            .filter_map(|nb| {
+                self.routes
+                    .min_depth(nb as u32, from as u32, community, query, ttl)
+                    .map(|d| (d, nb))
+            })
+            .collect();
+        candidates.sort_unstable();
+        let targets: Vec<(usize, Propagation)> = if candidates.is_empty() {
+            let mut options: Vec<usize> = self
+                .super_topology
+                .neighbors(PeerId(from as u32))
+                .map(|p| p.index())
+                .filter(|&nb| Some(nb) != sender)
+                .collect();
+            let mut walkers = Vec::new();
+            while walkers.len() < walk_width && !options.is_empty() {
+                let i = walk_rng.gen_range(0..options.len());
+                walkers.push((options.swap_remove(i), Propagation::Walk));
+            }
+            walkers
+        } else {
+            candidates
+                .into_iter()
+                .take(self.config.digests.fanout.max(1))
+                .map(|(_, nb)| (nb, Propagation::Guided))
+                .collect()
+        };
+        for (nb, mode) in targets {
+            stats.sent(MsgKind::Query);
+            outcome.messages += 1;
+            let at = t + latency.delay(self.super_peer_id(from), self.super_peer_id(nb));
+            let mut next_path = path.to_vec();
+            next_path.push(from);
+            queue.push(at, SuperQueryEvent { to: nb, path: next_path, ttl: ttl - 1, mode });
+        }
+    }
+
+    /// Runs one query to quiescence against the read-only plane. The
+    /// caller has already counted the query, checked the origin is alive
+    /// and refreshed digests; this accounts everything else into the
+    /// given `stats` (which may be a private per-request accounting on a
+    /// pool worker).
+    fn search(
+        &self,
+        latency: &mut dyn LatencyModel,
+        walk_rng: &mut StdRng,
+        stats: &mut NetStats,
+        origin: PeerId,
+        community: &str,
+        query: &Query,
+    ) -> SearchOutcome {
+        let mut outcome = SearchOutcome::default();
+        let guided = self.config.digests.enabled;
+        let s0 = self.super_of[origin.index()];
+        let mut uplink: Time = 0;
+        if !self.is_super(origin) {
+            stats.sent(MsgKind::Query);
+            outcome.messages += 1;
+            uplink = latency.delay(origin, self.super_peer_id(s0));
+            if !self.is_alive(self.super_peer_id(s0)) {
+                stats.dropped += 1;
+                outcome.latency = uplink;
+                return outcome; // orphaned leaf: its super is gone
+            }
+        }
+
+        let mut queue: EventQueue<SuperQueryEvent> = EventQueue::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mode = if guided { Propagation::Guided } else { Propagation::Flood };
+        queue.push(uplink, SuperQueryEvent { to: s0, path: Vec::new(), ttl: self.config.ttl, mode });
+
+        let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
+        let mut last_hit_at: Time = 0;
+        let mut quiescence: Time = 0;
+        while let Some((t, ev)) = queue.pop() {
+            quiescence = quiescence.max(t);
+            let super_id = self.super_peer_id(ev.to);
+            if !self.is_alive(super_id) {
+                stats.dropped += 1;
+                continue;
+            }
+            let first_visit = seen.insert(ev.to);
+            match ev.mode {
+                // a walker survives revisits (it merely skips
+                // re-evaluating the index); everything else deduplicates
+                Propagation::Walk => {}
+                _ if !first_visit => continue,
+                _ => {}
+            }
+            // answer from this super's index: candidates come from the
+            // posting lists, liveness filters only that candidate set
+            let hops = ev.path.len() as u8 + u8::from(!self.is_super(origin));
+            let mut local_hits: Vec<SearchHit> = Vec::new();
+            if first_visit {
+                let alive = self.alive;
+                let hit_seen = &mut hit_seen;
+                let local_hits = &mut local_hits;
+                self.indexes[ev.to].search(
+                    community,
+                    query,
+                    |p| alive.get(p.index()).copied().unwrap_or(false),
+                    |key, p, fields| {
+                        if hit_seen.insert((key.to_string(), p)) {
+                            local_hits.push(SearchHit {
+                                key: key.to_string(),
+                                provider: p,
+                                fields: fields.clone(),
+                                hops,
+                            });
+                        }
+                    },
+                );
+            }
+            if !local_hits.is_empty() {
+                // back along super path, then down to the leaf
+                let mut back: Time = 0;
+                let mut prev = ev.to;
+                for &node in ev.path.iter().rev() {
+                    stats.sent(MsgKind::QueryHit);
+                    outcome.messages += 1;
+                    back += latency.delay(self.super_peer_id(prev), self.super_peer_id(node));
+                    prev = node;
+                }
+                if !self.is_super(origin) {
+                    stats.sent(MsgKind::QueryHit);
+                    outcome.messages += 1;
+                    back += latency.delay(self.super_peer_id(s0), origin);
+                }
+                let arrival = t + back;
+                for h in local_hits {
+                    stats.hit(h.hops);
+                    last_hit_at = last_hit_at.max(arrival);
+                    outcome.first_hit_latency =
+                        Some(outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
+                    outcome.hits.push(h);
+                }
+                if ev.mode != Propagation::Flood {
+                    // frontier stop: this copy found results, stop paying
+                    // for forwarding
+                    continue;
+                }
+            }
+            if ev.ttl == 0 {
+                continue;
+            }
+            let sender = ev.path.last().copied();
+            if ev.mode == Propagation::Flood {
+                // flood to neighboring supers
+                let neighbors: Vec<usize> = self
+                    .super_topology
+                    .neighbors(PeerId(ev.to as u32))
+                    .map(|p| p.index())
+                    .collect();
+                for nb in neighbors {
+                    if Some(nb) == sender {
+                        continue;
+                    }
+                    stats.sent(MsgKind::Query);
+                    outcome.messages += 1;
+                    let at =
+                        t + latency.delay(self.super_peer_id(ev.to), self.super_peer_id(nb));
+                    let mut path = ev.path.clone();
+                    path.push(ev.to);
+                    queue.push(at, SuperQueryEvent {
+                        to: nb,
+                        path,
+                        ttl: ev.ttl - 1,
+                        mode: Propagation::Flood,
+                    });
+                }
+            } else {
+                // guided copies and walkers re-consult the digests every
+                // hop; a fallback at the origin's super spawns the full
+                // walker width, mid-path dead ends continue as one walker
+                let width = if sender.is_none() { self.config.digests.walk_width } else { 1 };
+                self.forward_guided(
+                    latency,
+                    walk_rng,
+                    stats,
+                    t,
+                    ev.to,
+                    sender,
+                    &ev.path,
+                    ev.ttl,
+                    community,
+                    query,
+                    width,
+                    &mut outcome,
+                    &mut queue,
+                );
+            }
+        }
+
+        outcome.latency = if outcome.hits.is_empty() { quiescence } else { last_hit_at };
+        if !outcome.hits.is_empty() {
+            stats.queries_with_hits += 1;
+        }
+        outcome
+    }
+}
+
 impl SuperPeerNetwork {
     /// Creates a network of `n` peers. The first `config.supers` ids are
     /// super-peers; every other peer is assigned to a uniformly random
@@ -101,7 +358,7 @@ impl SuperPeerNetwork {
     pub fn new(
         n: usize,
         config: SuperPeerConfig,
-        latency: Box<dyn LatencyModel + Send>,
+        latency: Box<dyn LatencyModel + Send + Sync>,
         seed: u64,
     ) -> Self {
         assert!(config.supers > 0 && config.supers <= n, "invalid super count");
@@ -143,10 +400,6 @@ impl SuperPeerNetwork {
         peer.index() < self.config.supers
     }
 
-    fn super_peer_id(&self, super_index: usize) -> PeerId {
-        PeerId(super_index as u32)
-    }
-
     /// Rebuilds dirty routing digests over the super overlay, counting
     /// the `DigestRequest`/`DigestPush` exchange. Lazy, like the flooding
     /// substrate: the next guided search triggers it.
@@ -165,66 +418,23 @@ impl SuperPeerNetwork {
         self.stats.sent_n(MsgKind::DigestPush, pushes);
     }
 
-    /// Forwards one guided query copy across the super overlay:
-    /// digest-selected neighbors first, random walkers as the fallback.
-    #[allow(clippy::too_many_arguments)]
-    fn forward_guided(
-        &mut self,
-        t: Time,
-        from: usize,
-        sender: Option<usize>,
-        path: &[usize],
-        ttl: u8,
-        community: &str,
-        query: &Query,
-        walk_width: usize,
-        outcome: &mut SearchOutcome,
-        queue: &mut EventQueue<SuperQueryEvent>,
-    ) {
-        if ttl == 0 {
-            return;
+}
+
+/// Borrows the read-only serving plane out of a [`SuperPeerNetwork`].
+/// A macro rather than a method so the borrow covers only the six
+/// serving-state fields — the accounting fields (latency, walker rng,
+/// stats) stay independently mutably borrowable next to the plane.
+macro_rules! serve_plane {
+    ($net:expr) => {
+        ServePlane {
+            config: &$net.config,
+            super_of: &$net.super_of,
+            super_topology: &$net.super_topology,
+            indexes: &$net.indexes,
+            alive: &$net.alive,
+            routes: &$net.routes,
         }
-        let mut candidates: Vec<(u8, usize)> = self
-            .super_topology
-            .neighbors(PeerId(from as u32))
-            .map(|p| p.index())
-            .filter(|&nb| Some(nb) != sender)
-            .filter_map(|nb| {
-                self.routes
-                    .min_depth(nb as u32, from as u32, community, query, ttl)
-                    .map(|d| (d, nb))
-            })
-            .collect();
-        candidates.sort_unstable();
-        let targets: Vec<(usize, Propagation)> = if candidates.is_empty() {
-            let mut options: Vec<usize> = self
-                .super_topology
-                .neighbors(PeerId(from as u32))
-                .map(|p| p.index())
-                .filter(|&nb| Some(nb) != sender)
-                .collect();
-            let mut walkers = Vec::new();
-            while walkers.len() < walk_width && !options.is_empty() {
-                let i = self.walk_rng.gen_range(0..options.len());
-                walkers.push((options.swap_remove(i), Propagation::Walk));
-            }
-            walkers
-        } else {
-            candidates
-                .into_iter()
-                .take(self.config.digests.fanout.max(1))
-                .map(|(_, nb)| (nb, Propagation::Guided))
-                .collect()
-        };
-        for (nb, mode) in targets {
-            self.stats.sent(MsgKind::Query);
-            outcome.messages += 1;
-            let at = t + self.latency.delay(self.super_peer_id(from), self.super_peer_id(nb));
-            let mut next_path = path.to_vec();
-            next_path.push(from);
-            queue.push(at, SuperQueryEvent { to: nb, path: next_path, ttl: ttl - 1, mode });
-        }
-    }
+    };
 }
 
 impl PeerNetwork for SuperPeerNetwork {
@@ -275,161 +485,58 @@ impl PeerNetwork for SuperPeerNetwork {
 
     fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome {
         self.stats.queries += 1;
-        let mut outcome = SearchOutcome::default();
         if !self.is_alive(origin) {
-            return outcome;
+            return SearchOutcome::default();
         }
-        let guided = self.config.digests.enabled;
-        if guided {
-            self.refresh_digests();
-        }
-        let s0 = self.super_of(origin);
-        let mut uplink: Time = 0;
-        if !self.is_super(origin) {
-            self.stats.sent(MsgKind::Query);
-            outcome.messages += 1;
-            uplink = self.latency.delay(origin, self.super_peer_id(s0));
-            if !self.is_alive(self.super_peer_id(s0)) {
-                self.stats.dropped += 1;
-                outcome.latency = uplink;
-                return outcome; // orphaned leaf: its super is gone
-            }
-        }
+        self.refresh_digests();
+        let plane = serve_plane!(self);
+        plane.search(
+            self.latency.as_mut(),
+            &mut self.walk_rng,
+            &mut self.stats,
+            origin,
+            community,
+            query,
+        )
+    }
 
-        let mut queue: EventQueue<SuperQueryEvent> = EventQueue::new();
-        let mut seen: HashSet<usize> = HashSet::new();
-        let mode = if guided { Propagation::Guided } else { Propagation::Flood };
-        queue.push(uplink, SuperQueryEvent { to: s0, path: Vec::new(), ttl: self.config.ttl, mode });
-
-        let mut hit_seen: HashSet<(String, PeerId)> = HashSet::new();
-        let mut last_hit_at: Time = 0;
-        let mut quiescence: Time = 0;
-        while let Some((t, ev)) = queue.pop() {
-            quiescence = quiescence.max(t);
-            let super_id = self.super_peer_id(ev.to);
-            if !self.is_alive(super_id) {
-                self.stats.dropped += 1;
-                continue;
-            }
-            let first_visit = seen.insert(ev.to);
-            match ev.mode {
-                // a walker survives revisits (it merely skips
-                // re-evaluating the index); everything else deduplicates
-                Propagation::Walk => {}
-                _ if !first_visit => continue,
-                _ => {}
-            }
-            // answer from this super's index: candidates come from the
-            // posting lists, liveness filters only that candidate set
-            let hops = ev.path.len() as u8 + u8::from(!self.is_super(origin));
-            let mut local_hits: Vec<SearchHit> = Vec::new();
-            if first_visit {
-                let alive = &self.alive;
-                let hit_seen = &mut hit_seen;
-                let local_hits = &mut local_hits;
-                self.indexes[ev.to].search(
-                    community,
-                    query,
-                    |p| alive.get(p.index()).copied().unwrap_or(false),
-                    |key, p, fields| {
-                        if hit_seen.insert((key.to_string(), p)) {
-                            local_hits.push(SearchHit {
-                                key: key.to_string(),
-                                provider: p,
-                                fields: fields.clone(),
-                                hops,
-                            });
-                        }
-                    },
-                );
-            }
-            if !local_hits.is_empty() {
-                // back along super path, then down to the leaf
-                let mut back: Time = 0;
-                let mut prev = ev.to;
-                for &node in ev.path.iter().rev() {
-                    self.stats.sent(MsgKind::QueryHit);
-                    outcome.messages += 1;
-                    back += self
-                        .latency
-                        .delay(self.super_peer_id(prev), self.super_peer_id(node));
-                    prev = node;
-                }
-                if !self.is_super(origin) {
-                    self.stats.sent(MsgKind::QueryHit);
-                    outcome.messages += 1;
-                    back += self.latency.delay(self.super_peer_id(s0), origin);
-                }
-                let arrival = t + back;
-                for h in local_hits {
-                    self.stats.hit(h.hops);
-                    last_hit_at = last_hit_at.max(arrival);
-                    outcome.first_hit_latency =
-                        Some(outcome.first_hit_latency.map_or(arrival, |f| f.min(arrival)));
-                    outcome.hits.push(h);
-                }
-                if ev.mode != Propagation::Flood {
-                    // frontier stop: this copy found results, stop paying
-                    // for forwarding
-                    continue;
-                }
-            }
-            if ev.ttl == 0 {
-                continue;
-            }
-            let sender = ev.path.last().copied();
-            if ev.mode == Propagation::Flood {
-                // flood to neighboring supers
-                let neighbors: Vec<usize> = self
-                    .super_topology
-                    .neighbors(PeerId(ev.to as u32))
-                    .map(|p| p.index())
-                    .collect();
-                for nb in neighbors {
-                    if Some(nb) == sender {
-                        continue;
-                    }
-                    self.stats.sent(MsgKind::Query);
-                    outcome.messages += 1;
-                    let at = t
-                        + self
-                            .latency
-                            .delay(self.super_peer_id(ev.to), self.super_peer_id(nb));
-                    let mut path = ev.path.clone();
-                    path.push(ev.to);
-                    queue.push(at, SuperQueryEvent {
-                        to: nb,
-                        path,
-                        ttl: ev.ttl - 1,
-                        mode: Propagation::Flood,
-                    });
-                }
-            } else {
-                // guided copies and walkers re-consult the digests every
-                // hop; a fallback at the origin's super spawns the full
-                // walker width, mid-path dead ends continue as one walker
-                let width =
-                    if sender.is_none() { self.config.digests.walk_width } else { 1 };
-                self.forward_guided(
-                    t,
-                    ev.to,
-                    sender,
-                    &ev.path,
-                    ev.ttl,
-                    community,
-                    query,
-                    width,
-                    &mut outcome,
-                    &mut queue,
-                );
-            }
+    fn search_batch(&mut self, requests: &[SearchRequest], workers: usize) -> Vec<SearchOutcome> {
+        // Digest maintenance is shared state: pay for it once, up front,
+        // exactly as a sequence of searches would (lazy, only if dirty).
+        self.refresh_digests();
+        // Walker randomness for request `i` is drawn from the shared rng
+        // in request order before fanning out, so batch results do not
+        // depend on worker scheduling.
+        let walk_seeds: Vec<u64> = requests.iter().map(|_| self.walk_rng.gen()).collect();
+        let plane = serve_plane!(self);
+        let latency = &self.latency;
+        let served: Vec<(SearchOutcome, NetStats)> =
+            serve_batch(workers, requests.len(), |i| {
+                let r = &requests[i];
+                let mut stats = NetStats::new();
+                stats.queries += 1;
+                let outcome = if plane.is_alive(r.origin) {
+                    let mut latency = latency.fork(i as u64);
+                    let mut walk_rng = StdRng::seed_from_u64(walk_seeds[i]);
+                    plane.search(
+                        latency.as_mut(),
+                        &mut walk_rng,
+                        &mut stats,
+                        r.origin,
+                        &r.community,
+                        &r.query,
+                    )
+                } else {
+                    SearchOutcome::default()
+                };
+                (outcome, stats)
+            });
+        let mut outcomes = Vec::with_capacity(served.len());
+        for (outcome, stats) in served {
+            self.stats.merge(&stats);
+            outcomes.push(outcome);
         }
-
-        outcome.latency = if outcome.hits.is_empty() { quiescence } else { last_hit_at };
-        if !outcome.hits.is_empty() {
-            self.stats.queries_with_hits += 1;
-        }
-        outcome
+        outcomes
     }
 
     fn retrieve(&mut self, origin: PeerId, provider: PeerId, key: &str) -> RetrieveOutcome {
@@ -636,6 +743,74 @@ mod tests {
             g.messages,
             b.messages
         );
+    }
+
+    #[test]
+    fn batch_serving_is_exactly_sequential_serving_in_flood_mode() {
+        let build = || {
+            let mut n = net(60, 8);
+            for p in [20u32, 35, 50] {
+                n.publish(PeerId(p), record(&format!("k{p}"), "observer"));
+            }
+            n.set_alive(PeerId(41), false); // one dead origin in the batch
+            n
+        };
+        let requests = vec![
+            SearchRequest::new(PeerId(40), "c", Query::any_keyword("observer")),
+            SearchRequest::new(PeerId(0), "c", Query::any_keyword("observer")),
+            SearchRequest::new(PeerId(41), "c", Query::any_keyword("observer")),
+            SearchRequest::new(PeerId(42), "c", Query::any_keyword("missing")),
+        ];
+        let mut seq = build();
+        let expected: Vec<SearchOutcome> = requests
+            .iter()
+            .map(|r| seq.search(r.origin, &r.community, &r.query))
+            .collect();
+        for workers in [1usize, 4] {
+            let mut batch = build();
+            let got = batch.search_batch(&requests, workers);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.hits, e.hits, "workers={workers}");
+                assert_eq!(g.messages, e.messages, "workers={workers}");
+                assert_eq!(g.latency, e.latency, "workers={workers}");
+                assert_eq!(g.first_hit_latency, e.first_hit_latency, "workers={workers}");
+            }
+            let (s, b) = (seq.stats(), batch.stats());
+            assert_eq!(b.messages, s.messages, "workers={workers}");
+            assert_eq!(b.by_kind(), s.by_kind(), "workers={workers}");
+            assert_eq!(b.queries, s.queries, "workers={workers}");
+            assert_eq!(b.queries_with_hits, s.queries_with_hits, "workers={workers}");
+            assert_eq!(b.hits, s.hits, "workers={workers}");
+            assert_eq!(b.dropped, s.dropped, "workers={workers}");
+            assert_eq!(b.hit_hops, s.hit_hops, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn guided_batch_finds_the_same_hits_and_pays_digests_once() {
+        let build = || {
+            let mut n = guided_net(50, 8);
+            n.publish(PeerId(30), record("k", "x"));
+            n
+        };
+        let mut seq = build();
+        let expected = seq.search(PeerId(40), "c", &Query::any_keyword("x"));
+        let mut batch = build();
+        let requests = vec![
+            SearchRequest::new(PeerId(40), "c", Query::any_keyword("x")),
+            SearchRequest::new(PeerId(41), "c", Query::any_keyword("x")),
+        ];
+        let got = batch.search_batch(&requests, 4);
+        // digest-selected forwarding is deterministic, so the matching
+        // query reproduces the sequential hit set even off-thread
+        assert_eq!(got[0].hits, expected.hits);
+        assert!(!got[1].hits.is_empty(), "second origin reaches the record too");
+        // the lazy digest build is shared state, paid once for the batch
+        let edges = 2 * batch.super_topology.edge_count() as u64;
+        assert_eq!(batch.stats().count(MsgKind::DigestRequest), edges);
+        assert_eq!(batch.stats().count(MsgKind::DigestPush), edges);
+        assert_eq!(batch.stats().queries, 2);
     }
 
     #[test]

@@ -11,6 +11,26 @@ use crate::peer::PeerId;
 use crate::stats::{MsgKind, NetStats, RetrieveOutcome, SearchOutcome};
 use up2p_store::Query;
 
+/// One query of a [`PeerNetwork::search_batch`] call: the same
+/// parameters [`PeerNetwork::search`] takes, owned so a batch can be
+/// fanned out across worker threads.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Issuing peer.
+    pub origin: PeerId,
+    /// Community scope of the query.
+    pub community: String,
+    /// The metadata query.
+    pub query: Query,
+}
+
+impl SearchRequest {
+    /// Convenience constructor.
+    pub fn new(origin: PeerId, community: impl Into<String>, query: Query) -> SearchRequest {
+        SearchRequest { origin, community: community.into(), query }
+    }
+}
+
 /// A peer-to-peer substrate offering the paper's three primitives
 /// (publish ≈ create, search, retrieve) plus liveness control for churn
 /// experiments.
@@ -43,6 +63,21 @@ pub trait PeerNetwork {
     /// Issues a metadata query from `origin` scoped to `community`,
     /// simulating propagation to quiescence.
     fn search(&mut self, origin: PeerId, community: &str, query: &Query) -> SearchOutcome;
+
+    /// Answers a batch of in-flight queries, returning one outcome per
+    /// request in request order, with cumulative statistics identical to
+    /// issuing the requests through [`PeerNetwork::search`] one at a
+    /// time (same totals, same [`NetStats::by_kind`] view).
+    ///
+    /// `workers` is the serving parallelism to use where the substrate
+    /// supports it. The default implementation serves sequentially; the
+    /// Napster server and FastTrack super-peers override it with a
+    /// thread-pool driver over the sharded index, and the live threaded
+    /// substrate overlaps the batch in flight.
+    fn search_batch(&mut self, requests: &[SearchRequest], workers: usize) -> Vec<SearchOutcome> {
+        let _ = workers;
+        requests.iter().map(|r| self.search(r.origin, &r.community, &r.query)).collect()
+    }
 
     /// Downloads the object `key` from `provider` (learned from a search
     /// hit).

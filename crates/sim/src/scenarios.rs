@@ -1142,6 +1142,156 @@ pub fn e9_search_scale_report(scale: Scale, seed: u64) -> (Table, BenchReport) {
             format!("{:.1} msgs/query, {with_hits}/{net_queries} with hits", msgs.mean()),
         ]);
     }
+
+    // -- multi-core serving plane: sharded index, 1→N worker grid -----
+    // The corpus is spread over many communities so the sharded node has
+    // independent read-mostly shards to serve from; the same query mix
+    // is then answered through `serve_batch` at increasing pool widths.
+    // Scaling is bounded by the machine: `hardware_threads` records how
+    // many cores this JSON was generated with, so a flat curve on a
+    // 1-core container is the honest expected result there.
+    {
+        use up2p_net::{serve_batch, ShardedIndexNode};
+        let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+        report.push("hardware_threads", hardware as f64);
+        const GRID_COMMUNITIES: usize = 16;
+        let community_of = |i: usize| format!("tracks{:02}", i % GRID_COMMUNITIES);
+        let started = Instant::now();
+        let sharded = ShardedIndexNode::new();
+        for (i, (record, provider)) in records.iter().enumerate() {
+            let rec = ResourceRecord {
+                key: record.key.clone(),
+                community: community_of(i),
+                fields: record.fields.clone(),
+            };
+            sharded.insert(*provider, &rec);
+        }
+        let secs = started.elapsed().as_secs_f64();
+        report.push("sharded_publish_per_sec", n as f64 / secs);
+        t.row([
+            "publish into ShardedIndexNode".to_string(),
+            n.to_string(),
+            fnum(secs * 1e6 / n as f64),
+            fnum(n as f64 / secs),
+            format!("{GRID_COMMUNITIES} community shards, single writer"),
+        ]);
+
+        let grid: Vec<(String, Query)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (community_of(i), q.clone()))
+            .collect();
+        let mut base_per_sec = f64::NAN;
+        for workers in [1usize, 2, 4, 8] {
+            let started = Instant::now();
+            let hits = serve_batch(workers, grid.len(), |i| {
+                let (community, q) = &grid[i];
+                let mut hits = 0u64;
+                sharded.search(community, q, |p| alive[p.index() % peers], |_, _, _| {
+                    hits += 1;
+                });
+                hits
+            });
+            let secs = started.elapsed().as_secs_f64();
+            let per_sec = grid.len() as f64 / secs;
+            if workers == 1 {
+                base_per_sec = per_sec;
+            }
+            report.push(&format!("scale_w{workers}_searches_per_sec"), per_sec);
+            t.row([
+                format!("sharded read-heavy, {workers} workers"),
+                grid.len().to_string(),
+                fnum(secs * 1e6 / grid.len() as f64),
+                fnum(per_sec),
+                format!(
+                    "read guards only, {} hits, {hardware} hw threads",
+                    hits.iter().sum::<u64>()
+                ),
+            ]);
+        }
+        let speedup =
+            report.get("scale_w8_searches_per_sec").unwrap_or(0.0) / base_per_sec.max(1e-9);
+        report.push("read_speedup_8w", speedup);
+        t.row([
+            "8-worker speedup".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{speedup:.2}x aggregate searches/sec vs 1 worker ({hardware} hw threads)"),
+        ]);
+
+        // mixed plane: publishes land in single shards while searches of
+        // the other communities keep streaming through read guards
+        const WRITE_RATIO: usize = 10; // one publish per 10 operations
+        report.push("mixed_write_ratio", 1.0 / WRITE_RATIO as f64);
+        for workers in [1usize, 8] {
+            let started = Instant::now();
+            serve_batch(workers, grid.len(), |i| {
+                if i % WRITE_RATIO == 0 {
+                    let (source, provider) = &records[i % records.len()];
+                    let rec = ResourceRecord {
+                        key: format!("mixed-{workers}-{i}"),
+                        community: community_of(i),
+                        fields: source.fields.clone(),
+                    };
+                    sharded.insert(*provider, &rec);
+                    0u64
+                } else {
+                    let (community, q) = &grid[i];
+                    let mut hits = 0u64;
+                    sharded.search(community, q, |p| alive[p.index() % peers], |_, _, _| {
+                        hits += 1;
+                    });
+                    hits
+                }
+            });
+            let secs = started.elapsed().as_secs_f64();
+            let per_sec = grid.len() as f64 / secs;
+            report.push(&format!("mixed_w{workers}_ops_per_sec"), per_sec);
+            t.row([
+                format!("mixed 10% publish, {workers} workers"),
+                grid.len().to_string(),
+                fnum(secs * 1e6 / grid.len() as f64),
+                fnum(per_sec),
+                "writers take one shard; readers stay wait-free elsewhere".to_string(),
+            ]);
+        }
+    }
+
+    // -- pooled batch serving end-to-end (Napster server) -------------
+    {
+        use up2p_net::SearchRequest;
+        let mut net = build_network(ProtocolKind::Napster, peers, seed);
+        for (record, provider) in &records {
+            net.publish(*provider, record.clone());
+        }
+        net.reset_stats();
+        let requests: Vec<SearchRequest> = queries
+            .iter()
+            .take(net_queries)
+            .enumerate()
+            .map(|(i, q)| {
+                SearchRequest::new(PeerId(((i * 11 + 5) % peers) as u32), "tracks", q.clone())
+            })
+            .collect();
+        let batch_workers = 4usize;
+        let started = Instant::now();
+        let outcomes = net.search_batch(&requests, batch_workers);
+        let secs = started.elapsed().as_secs_f64();
+        let with_hits = outcomes.iter().filter(|o| !o.hits.is_empty()).count();
+        report.push("napster_batch_workers", batch_workers as f64);
+        report.push("napster_batch_searches_per_sec", requests.len() as f64 / secs);
+        t.row([
+            "Napster search_batch".to_string(),
+            requests.len().to_string(),
+            fnum(secs * 1e6 / requests.len() as f64),
+            fnum(requests.len() as f64 / secs),
+            format!(
+                "{batch_workers} pool workers, {with_hits}/{} with hits",
+                requests.len()
+            ),
+        ]);
+    }
     (t, report)
 }
 
@@ -1537,8 +1687,10 @@ mod tests {
     #[test]
     fn e9_indexed_evaluation_beats_the_linear_baseline() {
         let (t, report) = e9_search_scale_report(Scale::Smoke, 7);
-        // publish, indexed, linear, speedup, 3 protocols
-        assert_eq!(t.rows.len(), 7);
+        // publish, indexed, linear, speedup, 3 protocols, sharded
+        // publish, 4-point worker grid, grid speedup, 2 mixed rows,
+        // Napster batch
+        assert_eq!(t.rows.len(), 16);
         assert_eq!(report.get("objects"), Some(10_000.0));
         for key in [
             "peers",
@@ -1552,6 +1704,18 @@ mod tests {
             "napster_success_rate",
             "fasttrack_searches_per_sec",
             "gnutella_searches_per_sec",
+            "hardware_threads",
+            "sharded_publish_per_sec",
+            "scale_w1_searches_per_sec",
+            "scale_w2_searches_per_sec",
+            "scale_w4_searches_per_sec",
+            "scale_w8_searches_per_sec",
+            "read_speedup_8w",
+            "mixed_write_ratio",
+            "mixed_w1_ops_per_sec",
+            "mixed_w8_ops_per_sec",
+            "napster_batch_workers",
+            "napster_batch_searches_per_sec",
         ] {
             let v = report.get(key).unwrap_or_else(|| panic!("missing metric {key}"));
             assert!(v > 0.0, "{key} should be positive, got {v}");

@@ -400,12 +400,17 @@ impl Servent {
     /// Persists the servent's state (joined communities with their
     /// schemas and stylesheets, plus the local repository) under `dir`.
     ///
+    /// The repository is written as a durable-store snapshot (compacted
+    /// segment + manifest), so [`Servent::load_state`] recovers it
+    /// through the pre-tokenized fast path instead of re-parsing and
+    /// re-indexing per-object XML.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Store`] on I/O failures.
     pub fn save_state(&self, dir: &std::path::Path) -> Result<(), CoreError> {
         use up2p_xml::ElementBuilder;
-        self.repository.save_dir(&dir.join("repository"))?;
+        up2p_store::DurableRepository::save_snapshot(&self.repository, &dir.join("repository"))?;
         let cdir = dir.join("communities");
         std::fs::create_dir_all(&cdir).map_err(up2p_store::StoreError::from)?;
         for community in self.communities.values() {

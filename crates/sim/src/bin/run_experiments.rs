@@ -1,4 +1,4 @@
-//! Regenerates experiment tables (E1–E11).
+//! Regenerates experiment tables (E1–E12).
 //!
 //! ```text
 //! cargo run -p up2p-sim --release --bin run_experiments             # all, ASCII
@@ -8,27 +8,31 @@
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e9_search_scale --quick
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e10_guided_search
 //! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e11_des_scale --quick
+//! cargo run -p up2p-sim --release --bin run_experiments -- --scenario e12_durability --quick
 //! ```
 //!
-//! Running E8, E9, E10 or E11 (alone or as part of the full run) also
-//! writes the scenario's JSON metrics to `BENCH_e8_index_scale.json` /
+//! Running E8–E12 (alone or as part of the full run) also writes the
+//! scenario's JSON metrics to `BENCH_e8_index_scale.json` /
 //! `BENCH_e9_search_scale.json` / `BENCH_e10_guided_search.json` /
-//! `BENCH_e11_des_scale.json` (override with `--out PATH` on a
-//! single-scenario run) — the perf-trajectory artifacts CI uploads.
+//! `BENCH_e11_des_scale.json` / `BENCH_e12_durability.json` (override
+//! with `--out PATH` on a single-scenario run) — the perf-trajectory
+//! artifacts CI uploads.
 
 use up2p_sim::{
-    e10_guided_search_report, e11_des_scale_report, e1_pipeline, e2_generation, e3_discovery, e4_metadata,
-    e5_replication, e6_dedup_ablation, e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing,
-    e8_index_scale_report, e9_search_scale_report, Scale, Table,
+    e10_guided_search_report, e11_des_scale_report, e12_durability_report, e1_pipeline,
+    e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation, e6_protocols,
+    e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale_report, e9_search_scale_report,
+    Scale, Table,
 };
 
 const E8_REPORT_DEFAULT: &str = "BENCH_e8_index_scale.json";
 const E9_REPORT_DEFAULT: &str = "BENCH_e9_search_scale.json";
 const E10_REPORT_DEFAULT: &str = "BENCH_e10_guided_search.json";
 const E11_REPORT_DEFAULT: &str = "BENCH_e11_des_scale.json";
+const E12_REPORT_DEFAULT: &str = "BENCH_e12_durability.json";
 
 fn print_help() {
-    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E11)");
+    println!("run_experiments — regenerate the U-P2P experiment tables (E1-E12)");
     println!();
     println!("USAGE:");
     println!("    cargo run -p up2p-sim --release --bin run_experiments [-- FLAGS]");
@@ -36,10 +40,11 @@ fn print_help() {
     println!("FLAGS:");
     println!("    --md              emit markdown tables (EXPERIMENTS.md body) instead of ASCII");
     println!("    --smoke, --quick  reduced sizes for a quick sanity run");
-    println!("    --scenario NAME   run one scenario only (e1..e11; e11_des_scale works too)");
+    println!("    --scenario NAME   run one scenario only (e1..e12; e12_durability works too)");
     println!("    --out PATH        where the scenario JSON report goes on a single");
-    println!("                      --scenario e8/e9/e10/e11 run (defaults {E8_REPORT_DEFAULT} /");
-    println!("                      {E9_REPORT_DEFAULT} / {E10_REPORT_DEFAULT} / {E11_REPORT_DEFAULT})");
+    println!("                      --scenario e8..e12 run (defaults {E8_REPORT_DEFAULT} /");
+    println!("                      {E9_REPORT_DEFAULT} / {E10_REPORT_DEFAULT} /");
+    println!("                      {E11_REPORT_DEFAULT} / {E12_REPORT_DEFAULT})");
     println!("    -h, --help        print this help");
 }
 
@@ -61,7 +66,7 @@ fn main() {
             "--scenario" => match it.next() {
                 Some(name) => scenario = Some(name.clone()),
                 None => {
-                    eprintln!("error: --scenario needs a name (e1..e11)");
+                    eprintln!("error: --scenario needs a name (e1..e12)");
                     std::process::exit(2);
                 }
             },
@@ -118,11 +123,16 @@ fn main() {
         write_report(&report, E11_REPORT_DEFAULT);
         tables.push(table);
     };
+    let run_e12 = |tables: &mut Vec<Table>| {
+        let (table, report) = e12_durability_report(scale, seed);
+        write_report(&report, E12_REPORT_DEFAULT);
+        tables.push(table);
+    };
 
     let mut tables = Vec::new();
     match scenario.as_deref() {
         None => {
-            // same order as run_all, with E8/E9/E10/E11 run through their
+            // same order as run_all, with E8–E12 run through their
             // report paths so the JSON artifacts are written on full
             // runs too
             eprintln!("running all scenarios at {scale:?} scale (seed {seed}) ...");
@@ -140,6 +150,7 @@ fn main() {
             run_e9(&mut tables);
             run_e10(&mut tables);
             run_e11(&mut tables);
+            run_e12(&mut tables);
         }
         Some("e1") => tables.push(e1_pipeline()),
         Some("e2") => tables.push(e2_generation(&[4, 8, 16, 32, 64])),
@@ -157,8 +168,9 @@ fn main() {
         Some("e9" | "e9_search_scale") => run_e9(&mut tables),
         Some("e10" | "e10_guided_search") => run_e10(&mut tables),
         Some("e11" | "e11_des_scale") => run_e11(&mut tables),
+        Some("e12" | "e12_durability") => run_e12(&mut tables),
         Some(other) => {
-            eprintln!("error: unknown scenario '{other}' (expected e1..e11)");
+            eprintln!("error: unknown scenario '{other}' (expected e1..e12)");
             std::process::exit(2);
         }
     }

@@ -39,6 +39,7 @@ pub use scenarios::{
     e1_pipeline, e2_generation, e3_discovery, e4_metadata, e5_replication, e6_dedup_ablation,
     e6_protocols, e6_topologies, e6_ttl_sweep, e7_indexing, e8_index_scale,
     e10_guided_search, e10_guided_search_report, e11_des_scale, e11_des_scale_report,
-    e8_index_scale_report, e9_search_scale, e9_search_scale_report, run_all, Scale,
+    e12_durability, e12_durability_report, e8_index_scale_report, e9_search_scale,
+    e9_search_scale_report, run_all, Scale,
 };
 pub use workload::{assign_providers, rng_for, Zipf};

@@ -1,6 +1,6 @@
 //! Schema round-trip over the committed benchmark artifacts: every
-//! `BENCH_*.json` at the repo root — the E8/E9/E10 files from earlier
-//! PRs plus E11's DES report — must parse through
+//! `BENCH_*.json` at the repo root — the E8/E9/E10/E11 files from
+//! earlier PRs plus E12's durability report — must parse through
 //! [`BenchReport::from_json`] and re-serialize byte-identically. This
 //! pins the artifact schema: a writer change that CI's trajectory
 //! tooling wouldn't understand fails here before it lands.
@@ -27,6 +27,21 @@ const ARTIFACTS: &[(&str, &str, &[&str])] = &[
         "BENCH_e11_des_scale.json",
         "e11_des_scale",
         &["peers_small", "peers_large"],
+    ),
+    (
+        "BENCH_e12_durability.json",
+        "e12_durability",
+        &[
+            "objects",
+            "publish_durable_per_sec",
+            "publish_fsync_each_per_sec",
+            "compact_ms",
+            "recovery_ms",
+            "xml_rebuild_ms",
+            "recovery_speedup",
+            "durable_bytes",
+            "xml_bytes",
+        ],
     ),
 ];
 
@@ -56,6 +71,21 @@ fn committed_bench_artifacts_round_trip() {
         }
         assert_eq!(report.to_json(), text, "{file}: to_json(from_json(x)) != x");
     }
+}
+
+#[test]
+fn e12_artifact_shows_full_scale_recovery_win() {
+    let text = std::fs::read_to_string(artifact_path("BENCH_e12_durability.json"))
+        .expect("BENCH_e12_durability.json is committed at the repo root");
+    let report = BenchReport::from_json(&text).expect("parses");
+    assert_eq!(report.get("objects").unwrap() as usize, 100_000, "full-scale run recorded");
+    let speedup = report.get("recovery_speedup").unwrap();
+    assert!(
+        speedup >= 5.0,
+        "segment recovery must be ≥5x faster than the XML rebuild at 100k, got {speedup:.2}x"
+    );
+    let torn = report.get("recovery_ms").unwrap();
+    assert!(torn > 0.0 && torn.is_finite());
 }
 
 #[test]

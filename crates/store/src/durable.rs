@@ -1,0 +1,525 @@
+//! The durable repository: WAL-ahead mutation, segment compaction and
+//! crash recovery layered over [`Repository`].
+//!
+//! Every publish/remove is encoded as a [`WalRecord`] and appended to
+//! the live WAL *before* the in-memory repository and index mutate, so
+//! an acknowledged operation survives any crash (under
+//! [`SyncPolicy::EveryRecord`]; batched policies trade the unsynced tail
+//! for throughput but still recover to a clean record boundary).
+//! Compaction folds the live object set into one immutable, sorted,
+//! pre-tokenized segment file and starts a fresh WAL; a manifest written
+//! via temp-file + rename is the single commit point, so a crash at any
+//! byte of compaction leaves the previous generation fully intact.
+//!
+//! Recovery ([`DurableRepository::recover`], also reachable through
+//! [`Repository::load_dir`]'s manifest fast path) loads the segment and
+//! replays the WAL tail. Both carry [`PreparedField`]s — the normalized
+//! values and keyword tokens computed once at publish — so rebuilding
+//! the posting lists never runs the tokenizer, which is what makes
+//! restart cheap for the churn-heavy peers the paper's availability
+//! argument cares about (experiment E12 quantifies the speedup).
+
+use crate::digest::ResourceId;
+use crate::error::StoreError;
+use crate::fsio::{RealFs, StoreFs};
+use crate::index::prepare_fields;
+use crate::repository::{Repository, StoredObject};
+use crate::segment::{load_segment, read_manifest, write_manifest, write_segment, Manifest};
+use crate::wal::{replay, SyncPolicy, Wal, WalRecord};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use up2p_xml::Document;
+
+/// Tuning knobs for a [`DurableRepository`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// WAL fsync policy; [`SyncPolicy::EveryRecord`] (the default) makes
+    /// every acknowledged operation crash-durable.
+    pub sync: SyncPolicy,
+    /// Compact automatically once the live WAL holds this many records;
+    /// `None` (the default) leaves compaction to explicit
+    /// [`compact`](DurableRepository::compact) calls.
+    pub compact_every: Option<usize>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions { sync: SyncPolicy::EveryRecord, compact_every: None }
+    }
+}
+
+/// What recovery found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation named by the committed manifest.
+    pub generation: u64,
+    /// Objects loaded from the segment file (0 when none is committed).
+    pub segment_objects: usize,
+    /// Valid records replayed from the WAL tail.
+    pub wal_records: usize,
+    /// Bytes of torn/corrupt WAL tail discarded past the valid prefix.
+    pub torn_bytes: u64,
+}
+
+/// A [`Repository`] whose mutations are write-ahead logged and whose
+/// state compacts into segment files (see the module docs).
+///
+/// ```
+/// use up2p_store::{DurableOptions, DurableRepository, Query};
+/// let dir = std::env::temp_dir().join(format!("up2p-durable-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = DurableRepository::open(&dir, DurableOptions::default())?;
+/// let id = store.publish_xml(
+///     "patterns",
+///     "<pattern><name>Observer</name></pattern>",
+///     &["pattern/name".into()],
+/// )?;
+/// drop(store); // crash or shutdown —
+/// let reopened = DurableRepository::open(&dir, DurableOptions::default())?;
+/// assert!(reopened.repository().contains(&id));
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), up2p_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct DurableRepository {
+    repo: Repository,
+    dir: PathBuf,
+    fs: Box<dyn StoreFs>,
+    wal: Wal,
+    manifest: Manifest,
+    wal_records: usize,
+    opts: DurableOptions,
+}
+
+impl DurableRepository {
+    /// Opens (or initializes) a durable store in `dir` on the real
+    /// filesystem: recovers from the committed manifest when one exists,
+    /// otherwise creates generation 0 (empty WAL, no segment).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and [`StoreError::Corrupt`] when committed files are
+    /// damaged beyond the recoverable torn-tail case.
+    pub fn open(dir: &Path, opts: DurableOptions) -> Result<DurableRepository, StoreError> {
+        Self::open_with_fs(Box::new(RealFs), dir, opts)
+    }
+
+    /// [`open`](Self::open) with an explicit filesystem — the seam the
+    /// crash-injection suites use to run the same store over
+    /// [`FailFs`](crate::FailFs).
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open), plus whatever failures `fs` injects.
+    pub fn open_with_fs(
+        fs: Box<dyn StoreFs>,
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<DurableRepository, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        match read_manifest(dir)? {
+            Some(manifest) => {
+                let (repo, valid_len, report) = replay_state(dir, &manifest)?;
+                let wal =
+                    Wal::open_end(&*fs, &dir.join(&manifest.wal), valid_len, opts.sync)?;
+                Ok(DurableRepository {
+                    repo,
+                    dir: dir.to_path_buf(),
+                    fs,
+                    wal,
+                    manifest,
+                    wal_records: report.wal_records,
+                    opts,
+                })
+            }
+            None => {
+                let manifest =
+                    Manifest { generation: 0, segment: None, wal: Manifest::wal_name(0) };
+                let wal = Wal::create(&*fs, &dir.join(&manifest.wal), opts.sync)?;
+                write_manifest(&*fs, dir, &manifest)?;
+                Ok(DurableRepository {
+                    repo: Repository::new(),
+                    dir: dir.to_path_buf(),
+                    fs,
+                    wal,
+                    manifest,
+                    wal_records: 0,
+                    opts,
+                })
+            }
+        }
+    }
+
+    /// Read-only recovery: rebuilds a [`Repository`] from the manifest's
+    /// segment + WAL tail without taking over the directory (no
+    /// truncation, no new files). This is [`Repository::load_dir`]'s
+    /// fast path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when `dir` has no manifest or a committed
+    /// file is damaged; I/O and XML errors from reading object bodies.
+    pub fn recover(dir: &Path) -> Result<(Repository, RecoveryReport), StoreError> {
+        let manifest = read_manifest(dir)?.ok_or_else(|| {
+            StoreError::Corrupt(format!("{}: no durable-store manifest", dir.display()))
+        })?;
+        let (repo, _, report) = replay_state(dir, &manifest)?;
+        Ok((repo, report))
+    }
+
+    /// Writes a plain [`Repository`]'s current state as a fresh durable
+    /// generation in `dir`: one compacted segment, an empty WAL and the
+    /// committing manifest. This is how the servent's `save_state`
+    /// produces a directory that [`Repository::load_dir`] recovers
+    /// without re-tokenizing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from writing the generation's files.
+    pub fn save_snapshot(repo: &Repository, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let generation = match read_manifest(dir) {
+            Ok(Some(m)) => m.generation + 1,
+            _ => 0,
+        };
+        let fs = RealFs;
+        let records: Vec<WalRecord> = repo.iter().map(publish_record).collect();
+        let seg_name = Manifest::segment_name(generation);
+        write_segment(&fs, &dir.join(&seg_name), records.len() as u32, records.iter())?;
+        let wal_name = Manifest::wal_name(generation);
+        drop(Wal::create(&fs, &dir.join(&wal_name), SyncPolicy::EveryRecord)?);
+        let manifest = Manifest { generation, segment: Some(seg_name), wal: wal_name };
+        write_manifest(&fs, dir, &manifest)?;
+        Ok(())
+    }
+
+    /// Durably publishes an object from XML text: the WAL record is
+    /// written (and synced, per policy) before the repository mutates.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidXml`] when the text does not parse; I/O
+    /// failures from the WAL append (on which the in-memory state is
+    /// left untouched).
+    pub fn publish_xml(
+        &mut self,
+        community: &str,
+        xml: &str,
+        index_paths: &[String],
+    ) -> Result<ResourceId, StoreError> {
+        let doc = Document::parse(xml)?;
+        self.publish_doc(community, doc, index_paths)
+    }
+
+    /// Durably publishes a parsed document, extracting the given field
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the WAL append.
+    pub fn publish_doc(
+        &mut self,
+        community: &str,
+        doc: Document,
+        index_paths: &[String],
+    ) -> Result<ResourceId, StoreError> {
+        let fields = Repository::extract_fields(&doc, index_paths);
+        self.publish_fields(community, doc, fields)
+    }
+
+    /// Durably publishes with pre-extracted fields. Tokenization happens
+    /// exactly once, here; the prepared form rides the WAL record so
+    /// recovery replays it for free.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the WAL append.
+    pub fn publish_fields(
+        &mut self,
+        community: &str,
+        doc: Document,
+        fields: impl Into<std::sync::Arc<[(String, String)]>>,
+    ) -> Result<ResourceId, StoreError> {
+        let fields = fields.into();
+        let xml = doc.to_xml_string();
+        let prep = prepare_fields(&fields);
+        let rec = WalRecord::Publish {
+            community: community.to_string(),
+            xml,
+            fields: fields.to_vec(),
+            prep: prep.clone(),
+        };
+        self.wal.append(&rec)?;
+        self.wal_records += 1;
+        let id = self.repo.insert_prepared(community, doc, fields, &prep);
+        self.maybe_compact()?;
+        Ok(id)
+    }
+
+    /// Durably removes an object. A no-op (and no WAL record) when the
+    /// id is not stored.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the WAL append (on which the object stays).
+    pub fn remove(&mut self, id: &ResourceId) -> Result<Option<StoredObject>, StoreError> {
+        if !self.repo.contains(id) {
+            return Ok(None);
+        }
+        self.wal.append(&WalRecord::Remove { id: id.to_string() })?;
+        self.wal_records += 1;
+        let removed = self.repo.remove(id);
+        self.maybe_compact()?;
+        Ok(removed)
+    }
+
+    /// Forces every appended WAL record to stable storage — the explicit
+    /// durability barrier for [`SyncPolicy::EveryN`]/[`SyncPolicy::Manual`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the fsync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync().map_err(StoreError::Io)
+    }
+
+    /// Folds the live object set into the next segment generation and
+    /// starts a fresh WAL. The manifest rename at the end is the commit
+    /// point: a crash anywhere before it leaves the previous generation
+    /// authoritative, and the partially written next-generation files are
+    /// simply ignored by recovery. Retired files are garbage-collected
+    /// best-effort after the commit.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; on error the in-memory store still points at the
+    /// old (intact) generation.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let generation = self.manifest.generation + 1;
+        let records: Vec<WalRecord> = self.repo.iter().map(publish_record).collect();
+        let seg_name = Manifest::segment_name(generation);
+        write_segment(&*self.fs, &self.dir.join(&seg_name), records.len() as u32, records.iter())?;
+        let wal_name = Manifest::wal_name(generation);
+        let new_wal = Wal::create(&*self.fs, &self.dir.join(&wal_name), self.opts.sync)?;
+        let manifest = Manifest { generation, segment: Some(seg_name), wal: wal_name };
+        write_manifest(&*self.fs, &self.dir, &manifest)?;
+        // committed: swap in the new generation, then GC the old
+        let old = std::mem::replace(&mut self.manifest, manifest);
+        self.wal = new_wal;
+        self.wal_records = 0;
+        let _ = self.fs.remove_file(&self.dir.join(&old.wal));
+        if let Some(seg) = &old.segment {
+            let _ = self.fs.remove_file(&self.dir.join(seg));
+        }
+        Ok(())
+    }
+
+    /// The in-memory repository (all reads go straight here; mutation
+    /// must go through the durable methods so the WAL stays ahead).
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// Current committed generation.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// Records appended to the live WAL since the last compaction.
+    pub fn wal_records(&self) -> usize {
+        self.wal_records
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), StoreError> {
+        if self.opts.compact_every.is_some_and(|n| self.wal_records >= n.max(1)) {
+            self.compact()?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a stored object as the publish-shaped record compaction and
+/// snapshots persist (re-tokenizing once; recovery then never does).
+fn publish_record(obj: &StoredObject) -> WalRecord {
+    WalRecord::Publish {
+        community: obj.community.clone(),
+        xml: obj.xml.clone(),
+        fields: obj.fields.to_vec(),
+        prep: prepare_fields(&obj.fields),
+    }
+}
+
+/// Rebuilds the repository a manifest describes: segment first, then the
+/// WAL tail's valid prefix, last-operation-per-id wins. Returns the WAL's
+/// valid byte length (where an appender may resume) alongside the report.
+fn replay_state(
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(Repository, u64, RecoveryReport), StoreError> {
+    let segment_records = match &manifest.segment {
+        Some(name) => load_segment(&dir.join(name))?,
+        None => Vec::new(),
+    };
+    let segment_objects = segment_records.len();
+    let wal_bytes = match std::fs::read(dir.join(&manifest.wal)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let tail = replay(&wal_bytes);
+    let mut live: BTreeMap<ResourceId, WalRecord> = BTreeMap::new();
+    for rec in segment_records.into_iter().chain(tail.records.iter().cloned()) {
+        match rec {
+            WalRecord::Publish { ref community, ref xml, .. } => {
+                let id = ResourceId::for_object(community, xml);
+                live.insert(id, rec);
+            }
+            WalRecord::Remove { id } => {
+                live.remove(id.as_str());
+            }
+        }
+    }
+    let mut items = Vec::with_capacity(live.len());
+    for rec in live.into_values() {
+        let WalRecord::Publish { community, xml, fields, prep } = rec else {
+            continue; // unreachable: removes never enter the map
+        };
+        let doc = Document::parse(&xml)?;
+        items.push((community, doc, fields, prep));
+    }
+    let mut repo = Repository::new();
+    repo.insert_prepared_batch(items);
+    let report = RecoveryReport {
+        generation: manifest.generation,
+        segment_objects,
+        wal_records: tail.records.len(),
+        torn_bytes: tail.torn_bytes,
+    };
+    Ok((repo, tail.valid_len, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("up2p-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn track(n: u32) -> String {
+        format!("<track><title>Song number {n}</title><artist>Band {}</artist></track>", n % 7)
+    }
+
+    fn paths() -> Vec<String> {
+        vec!["track/title".into(), "track/artist".into()]
+    }
+
+    #[test]
+    fn publish_remove_survive_reopen() {
+        let d = dir("reopen");
+        let mut ids = Vec::new();
+        {
+            let mut store = DurableRepository::open(&d, DurableOptions::default()).unwrap();
+            for n in 0..10 {
+                ids.push(store.publish_xml("tracks", &track(n), &paths()).unwrap());
+            }
+            store.remove(&ids[3]).unwrap();
+            assert!(store.remove(&ids[3]).unwrap().is_none());
+        }
+        let store = DurableRepository::open(&d, DurableOptions::default()).unwrap();
+        assert_eq!(store.repository().len(), 9);
+        assert!(!store.repository().contains(&ids[3]));
+        assert!(store.repository().contains(&ids[9]));
+        let hits = store.repository().search(Some("tracks"), &Query::any_keyword("number"));
+        assert_eq!(hits.len(), 9);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_drops_old_generation() {
+        let d = dir("compact");
+        let mut store = DurableRepository::open(&d, DurableOptions::default()).unwrap();
+        let mut ids = Vec::new();
+        for n in 0..20 {
+            ids.push(store.publish_xml("tracks", &track(n), &paths()).unwrap());
+        }
+        store.remove(&ids[0]).unwrap();
+        assert_eq!(store.generation(), 0);
+        store.compact().unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.wal_records(), 0);
+        // the retired generation's files are gone
+        assert!(!d.join(Manifest::wal_name(0)).exists());
+        // post-compaction appends land in the new WAL and reopen cleanly
+        store.publish_xml("tracks", &track(99), &paths()).unwrap();
+        drop(store);
+        let (repo, report) = DurableRepository::recover(&d).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.segment_objects, 19);
+        assert_eq!(report.wal_records, 1);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(repo.len(), 20);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let d = dir("auto");
+        let opts =
+            DurableOptions { sync: SyncPolicy::Manual, compact_every: Some(5) };
+        let mut store = DurableRepository::open(&d, opts).unwrap();
+        for n in 0..12 {
+            store.publish_xml("tracks", &track(n), &paths()).unwrap();
+        }
+        assert_eq!(store.generation(), 2, "12 records, threshold 5 → 2 compactions");
+        assert!(store.wal_records() < 5);
+        drop(store);
+        let (repo, _) = DurableRepository::recover(&d).unwrap();
+        assert_eq!(repo.len(), 12);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_plain_repository_recovers() {
+        let d = dir("snapshot");
+        let mut repo = Repository::new();
+        for n in 0..6 {
+            repo.insert_xml("tracks", &track(n), &paths()).unwrap();
+        }
+        DurableRepository::save_snapshot(&repo, &d).unwrap();
+        let (recovered, report) = DurableRepository::recover(&d).unwrap();
+        assert_eq!(report.segment_objects, 6);
+        assert_eq!(recovered.len(), 6);
+        // snapshotting again bumps the generation
+        DurableRepository::save_snapshot(&repo, &d).unwrap();
+        let (_, report) = DurableRepository::recover(&d).unwrap();
+        assert_eq!(report.generation, 1);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_non_durable_dir() {
+        let d = dir("nonstore");
+        std::fs::create_dir_all(&d).unwrap();
+        assert!(matches!(DurableRepository::recover(&d), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn republish_same_object_stays_idempotent_through_recovery() {
+        let d = dir("idem");
+        let mut store = DurableRepository::open(&d, DurableOptions::default()).unwrap();
+        let a = store.publish_xml("tracks", &track(1), &paths()).unwrap();
+        let b = store.publish_xml("tracks", &track(1), &paths()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(store.repository().len(), 1);
+        drop(store);
+        let (repo, report) = DurableRepository::recover(&d).unwrap();
+        assert_eq!(repo.len(), 1);
+        assert_eq!(report.wal_records, 2);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -26,6 +26,36 @@ use std::sync::Arc;
 /// layer all hold the same allocation.
 pub type SharedFields = Arc<[(String, String)]>;
 
+/// One field value's pre-tokenized form: exactly what
+/// [`MetadataIndex::insert_tokenized`] needs to post the field without
+/// touching the tokenizer. Produced by [`prepare_fields`] at publish
+/// time and persisted in WAL/segment records so recovery replays posting
+/// lists instead of re-deriving them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedField {
+    /// Normalized value ([`normalize`]d), the exact-match key.
+    pub norm: String,
+    /// Keyword tokens in visit order (duplicates preserved — posting
+    /// insertion deduplicates per doc anyway).
+    pub tokens: Vec<String>,
+}
+
+/// Tokenizes and normalizes every field value once, producing the
+/// prepared form the durable store persists. This is the *only*
+/// tokenization pass an object needs: publish runs it, the WAL carries
+/// it, recovery replays it.
+pub fn prepare_fields(fields: &[(String, String)]) -> Vec<PreparedField> {
+    fields
+        .iter()
+        .map(|(_, value)| {
+            let norm = normalize(value);
+            let mut tokens = Vec::new();
+            for_each_token(value, |t| tokens.push(t.to_string()));
+            PreparedField { norm, tokens }
+        })
+        .collect()
+}
+
 /// Interner mapping strings to dense `u32` symbols. Each distinct string
 /// is stored exactly once (as the lookup key); the content byte total is
 /// accumulated on intern so `bytes()` is O(1) and matches what is
@@ -136,6 +166,74 @@ impl MetadataIndex {
         let doc = self.alloc_doc(id.clone());
         let entry = self.post_fields(doc, id, fields, None);
         self.docs[doc as usize] = Some(entry);
+    }
+
+    /// Indexes an object from its pre-tokenized form without running the
+    /// tokenizer — the recovery path: `prep` comes from a WAL or segment
+    /// record that [`prepare_fields`] produced at publish time. When the
+    /// prepared form does not line up with the fields (foreign or damaged
+    /// input), falls back to [`insert_shared`](Self::insert_shared) and
+    /// tokenizes normally rather than posting mismatched lists.
+    pub fn insert_tokenized(
+        &mut self,
+        id: ResourceId,
+        fields: SharedFields,
+        prep: &[PreparedField],
+    ) {
+        if prep.len() != fields.len() {
+            return self.insert_shared(id, fields);
+        }
+        self.remove(&id);
+        let doc = self.alloc_doc(id.clone());
+        let entry = self.post_prepared(doc, id, fields, prep, None);
+        self.docs[doc as usize] = Some(entry);
+    }
+
+    /// Bulk version of [`insert_tokenized`](Self::insert_tokenized) with
+    /// the same deferred posting-list ordering as
+    /// [`insert_batch`](Self::insert_batch) — the segment/WAL replay fast
+    /// path for loading large recovered corpora. Last occurrence of a
+    /// repeated id wins.
+    pub fn insert_batch_tokenized<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (ResourceId, SharedFields, Vec<PreparedField>)>,
+    {
+        let items: Vec<(ResourceId, SharedFields, Vec<PreparedField>)> =
+            batch.into_iter().collect();
+        let mut keep = vec![true; items.len()];
+        {
+            let mut last: HashMap<&ResourceId, usize> = HashMap::with_capacity(items.len());
+            for (i, (id, _, _)) in items.iter().enumerate() {
+                if let Some(prev) = last.insert(id, i) {
+                    keep[prev] = false;
+                }
+            }
+        }
+        for (id, _, _) in &items {
+            self.remove(id);
+        }
+        self.docs.reserve(items.len());
+        self.doc_ids.reserve(items.len());
+        let mut dirty: HashSet<(bool, u32, u32)> = HashSet::new();
+        for (i, (id, fields, prep)) in items.into_iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            if prep.len() != fields.len() {
+                self.insert_shared(id, fields);
+                continue;
+            }
+            let doc = self.alloc_doc(id.clone());
+            let entry = self.post_prepared(doc, id, fields, &prep, Some(&mut dirty));
+            self.docs[doc as usize] = Some(entry);
+        }
+        for (is_token, path, term) in dirty {
+            let maps = if is_token { &mut self.tokens } else { &mut self.exact };
+            if let Some(list) = maps[path as usize].get_mut(&term) {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
     }
 
     /// Bulk-inserts a batch, deferring posting-list ordering until the
@@ -351,6 +449,43 @@ impl MetadataIndex {
                 }
             });
             norms.push(norm);
+        }
+        DocEntry { id, fields, path_syms, norms }
+    }
+
+    /// [`post_fields`](Self::post_fields) without the tokenizer: norms
+    /// and tokens come from the prepared form. Caller guarantees
+    /// `prep.len() == fields.len()`; removal later replays the entry via
+    /// `for_each_token`, which matches because [`prepare_fields`] used
+    /// the same visitor.
+    fn post_prepared(
+        &mut self,
+        doc: u32,
+        id: ResourceId,
+        fields: Arc<[(String, String)]>,
+        prep: &[PreparedField],
+        mut dirty: Option<&mut HashSet<(bool, u32, u32)>>,
+    ) -> DocEntry {
+        let mut path_syms = Vec::with_capacity(fields.len());
+        let mut norms = Vec::with_capacity(fields.len());
+        for ((path, _), pf) in fields.iter().zip(prep) {
+            let p = self.intern_path(path);
+            path_syms.push(p);
+            let v = self.terms.intern(&pf.norm);
+            let exact_list = self.exact[p as usize].entry(v).or_default();
+            match dirty.as_deref_mut() {
+                Some(d) => bulk_post(exact_list, doc, (false, p, v), d),
+                None => post(exact_list, doc),
+            }
+            for token in &pf.tokens {
+                let t = self.terms.intern(token);
+                let token_list = self.tokens[p as usize].entry(t).or_default();
+                match dirty.as_deref_mut() {
+                    Some(d) => bulk_post(token_list, doc, (true, p, t), d),
+                    None => post(token_list, doc),
+                }
+            }
+            norms.push(pf.norm.clone());
         }
         DocEntry { id, fields, path_syms, norms }
     }
@@ -802,6 +937,60 @@ mod tests {
         assert_eq!(b.exact_postings, s.exact_postings);
         // observer postings were replaced by mediator's within the batch
         assert!(batched.execute(&Query::keyword("name", "observer")).is_empty());
+    }
+
+    #[test]
+    fn tokenized_insert_agrees_with_tokenizing_insert() {
+        let fields = |n: &str, c: &str| -> SharedFields {
+            vec![
+                ("pattern/name".to_string(), n.to_string()),
+                ("pattern/category".to_string(), c.to_string()),
+            ]
+            .into()
+        };
+        let items: Vec<(ResourceId, SharedFields)> = vec![
+            (id(1), fields("Observer", "behavioral")),
+            (id(2), fields("Abstract Factory", "creational")),
+            (id(1), fields("Mediator", "behavioral")), // repeat: last wins
+            (id(3), fields("Factory Method", "creational")),
+        ];
+        let mut reference = MetadataIndex::new();
+        let mut single = MetadataIndex::new();
+        let mut batched = MetadataIndex::new();
+        for (rid, f) in &items {
+            reference.insert_shared(rid.clone(), Arc::clone(f));
+            single.insert_tokenized(rid.clone(), Arc::clone(f), &prepare_fields(f));
+        }
+        batched.insert_batch_tokenized(
+            items.iter().map(|(rid, f)| (rid.clone(), Arc::clone(f), prepare_fields(f))),
+        );
+        for ix in [&single, &batched] {
+            for q in [
+                Query::any_keyword("factory"),
+                Query::eq("category", "behavioral"),
+                Query::keyword("name", "mediator"),
+                Query::keyword("name", "observer"),
+                Query::All,
+            ] {
+                assert_eq!(ix.execute(&q), reference.execute(&q), "on {q}");
+            }
+            let (a, b) = (ix.stats(), reference.stats());
+            assert_eq!(a.token_postings, b.token_postings);
+            assert_eq!(a.exact_postings, b.exact_postings);
+        }
+        // removal replays tokenized entries correctly (same token stream)
+        single.remove(&id(2));
+        reference.remove(&id(2));
+        assert_eq!(
+            single.execute(&Query::any_keyword("factory")),
+            reference.execute(&Query::any_keyword("factory"))
+        );
+        let (a, b) = (single.stats(), reference.stats());
+        assert_eq!(a.token_postings, b.token_postings);
+        // a prep that does not line up falls back to full tokenization
+        let mut fallback = MetadataIndex::new();
+        fallback.insert_tokenized(id(7), fields("Observer", "behavioral"), &[]);
+        assert_eq!(fallback.execute(&Query::any_keyword("observer")), BTreeSet::from([id(7)]));
     }
 
     #[test]

@@ -31,16 +31,25 @@
 
 mod cmip;
 mod digest;
+mod durable;
 mod error;
+mod fsio;
 mod index;
 mod query;
 mod repository;
+mod segment;
 mod tokenizer;
+mod wal;
 
 pub use cmip::parse_cmip;
 pub use digest::{sha1, ResourceId};
+pub use durable::{DurableOptions, DurableRepository, RecoveryReport};
 pub use error::StoreError;
-pub use index::{IndexStats, MetadataIndex, SharedFields};
+pub use fsio::{crc32, FailFs, RealFs, StoreFs, StoreWriter};
+pub use index::{prepare_fields, IndexStats, MetadataIndex, PreparedField, SharedFields};
 pub use query::{field_matches, Query, ValuePattern};
-pub use repository::{Repository, StoredObject};
-pub use tokenizer::{is_normalized, normalize, tokenize, tokenize_with, STOPWORDS};
+pub use repository::{LoadReport, Repository, StoredObject};
+pub use tokenizer::{
+    is_normalized, normalize, token_passes, tokenize, tokenize_with, STOPWORDS,
+};
+pub use wal::SyncPolicy;

@@ -4,7 +4,7 @@
 
 use crate::digest::ResourceId;
 use crate::error::StoreError;
-use crate::index::{IndexStats, MetadataIndex};
+use crate::index::{IndexStats, MetadataIndex, PreparedField};
 use crate::query::Query;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -42,6 +42,19 @@ impl StoredObject {
             .find(|(p, _)| crate::query::field_matches(p, leaf))
             .map(|(_, v)| v.as_str())
     }
+}
+
+/// How [`Repository::load_dir_report`] loaded a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// `true` when the durable-store manifest fast path ran (segment +
+    /// WAL replay, no re-tokenization); `false` for the legacy
+    /// XML-per-object scan.
+    pub from_manifest: bool,
+    /// Objects loaded.
+    pub objects: usize,
+    /// Recovery detail when the fast path ran.
+    pub recovery: Option<crate::durable::RecoveryReport>,
 }
 
 /// Content-addressed repository of XML objects with metadata search.
@@ -140,6 +153,61 @@ impl Repository {
             StoredObject { id: id.clone(), community: community.to_string(), xml, fields, doc },
         );
         id
+    }
+
+    /// Inserts with pre-extracted fields *and* their pre-tokenized form
+    /// (see [`crate::prepare_fields`]) — the durable-store path, where
+    /// tokenization already happened when the WAL record was built and
+    /// must not run again.
+    pub fn insert_prepared(
+        &mut self,
+        community: &str,
+        doc: Document,
+        fields: impl Into<Arc<[(String, String)]>>,
+        prep: &[PreparedField],
+    ) -> ResourceId {
+        let fields = fields.into();
+        let xml = doc.to_xml_string();
+        let id = ResourceId::for_object(community, &xml);
+        self.index.insert_tokenized(id.clone(), Arc::clone(&fields), prep);
+        self.by_community.entry(community.to_string()).or_default().insert(id.clone());
+        self.objects.insert(
+            id.clone(),
+            StoredObject { id: id.clone(), community: community.to_string(), xml, fields, doc },
+        );
+        id
+    }
+
+    /// Bulk [`insert_prepared`](Self::insert_prepared) with deferred
+    /// posting-list merging ([`MetadataIndex::insert_batch_tokenized`]) —
+    /// the segment/WAL recovery load path. Returns ids in input order.
+    pub fn insert_prepared_batch<I>(&mut self, items: I) -> Vec<ResourceId>
+    where
+        I: IntoIterator<Item = (String, Document, Vec<(String, String)>, Vec<PreparedField>)>,
+    {
+        type Prepared = (ResourceId, Arc<[(String, String)]>, Vec<PreparedField>, String, String, Document);
+        let prepared: Vec<Prepared> = items
+            .into_iter()
+            .map(|(community, doc, fields, prep)| {
+                let fields: Arc<[(String, String)]> = fields.into();
+                let xml = doc.to_xml_string();
+                let id = ResourceId::for_object(&community, &xml);
+                (id, fields, prep, community, xml, doc)
+            })
+            .collect();
+        self.index.insert_batch_tokenized(
+            prepared
+                .iter()
+                .map(|(id, fields, prep, _, _, _)| (id.clone(), Arc::clone(fields), prep.clone())),
+        );
+        let mut ids = Vec::with_capacity(prepared.len());
+        for (id, fields, _, community, xml, doc) in prepared {
+            ids.push(id.clone());
+            self.by_community.entry(community.clone()).or_default().insert(id.clone());
+            self.objects
+                .insert(id.clone(), StoredObject { id, community, xml, fields, doc });
+        }
+        ids
     }
 
     /// Bulk-inserts parsed documents, extracting and indexing the given
@@ -328,13 +396,43 @@ impl Repository {
         Ok(())
     }
 
-    /// Loads every object previously written by [`Repository::save_dir`].
+    /// Loads a repository from `dir`: when the directory holds a durable
+    /// store manifest, recovers through the segment + WAL fast path
+    /// (pre-tokenized postings, no tokenizer, no per-object XML wrapper
+    /// parsing); otherwise falls back to scanning the legacy one-XML-
+    /// file-per-object layout written by [`Repository::save_dir`].
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Corrupt`] when a file does not follow the
-    /// wrapper format, plus I/O and XML errors.
+    /// Returns [`StoreError::Corrupt`] when a file does not follow its
+    /// format, plus I/O and XML errors.
     pub fn load_dir(dir: &Path) -> Result<Repository, StoreError> {
+        Ok(Self::load_dir_report(dir)?.0)
+    }
+
+    /// [`load_dir`](Self::load_dir) plus a [`LoadReport`] saying which
+    /// path ran — the hook the persistence regression tests use to prove
+    /// the manifest fast path is taken (and stays index-rebuild-free).
+    ///
+    /// # Errors
+    ///
+    /// As [`load_dir`](Self::load_dir).
+    pub fn load_dir_report(dir: &Path) -> Result<(Repository, LoadReport), StoreError> {
+        if crate::segment::read_manifest(dir)?.is_some() {
+            let (repo, recovery) = crate::durable::DurableRepository::recover(dir)?;
+            let objects = repo.len();
+            return Ok((repo, LoadReport { from_manifest: true, objects, recovery: Some(recovery) }));
+        }
+        let repo = Self::load_dir_xml(dir)?;
+        let objects = repo.len();
+        Ok((repo, LoadReport { from_manifest: false, objects, recovery: None }))
+    }
+
+    /// The legacy loader: parse every `<stored>` wrapper file and rebuild
+    /// the index from scratch (re-tokenizing). Kept as the fallback for
+    /// directories written before the durable store existed — and as the
+    /// baseline experiment E12 measures recovery against.
+    fn load_dir_xml(dir: &Path) -> Result<Repository, StoreError> {
         let mut repo = Repository::new();
         let mut entries: Vec<_> = std::fs::read_dir(dir)?
             .collect::<Result<Vec<_>, _>>()?

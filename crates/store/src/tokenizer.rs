@@ -27,12 +27,28 @@ pub fn tokenize_with(text: &str, keep_stopwords: bool) -> Vec<String> {
         .collect()
 }
 
+thread_local! {
+    static TOKEN_PASSES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of tokenization passes (one per field value fed through
+/// [`for_each_token`]) performed *on this thread* since it started.
+///
+/// This is the observability hook the persistence tests use to prove the
+/// durable recovery path never re-tokenizes: sample before and after a
+/// load and assert the delta is zero. Thread-local so parallel test
+/// binaries cannot interfere with each other's counts.
+pub fn token_passes() -> u64 {
+    TOKEN_PASSES.with(|c| c.get())
+}
+
 /// Visits each indexable token of `text` (same token stream as
 /// [`tokenize`], stopwords dropped) without allocating a `String` per
 /// token: already-lowercase ASCII tokens are passed through as slices of
 /// `text`, and only mixed-case / non-ASCII tokens are lowercased into a
 /// single reused buffer. This is the indexing/removal hot path.
 pub(crate) fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
+    TOKEN_PASSES.with(|c| c.set(c.get() + 1));
     for raw in text.split(|c: char| !c.is_alphanumeric()) {
         if raw.is_empty() {
             continue;
@@ -132,6 +148,18 @@ mod tests {
             for_each_token(text, |t| via_visitor.push(t.to_string()));
             assert_eq!(via_visitor, tokenize(text), "{text:?}");
         }
+    }
+
+    #[test]
+    fn token_passes_counts_visitor_runs() {
+        let before = token_passes();
+        for_each_token("one pass", |_| {});
+        for_each_token("two", |_| {});
+        assert_eq!(token_passes() - before, 2);
+        // normalization is not a tokenization pass
+        let before = token_passes();
+        let _ = normalize("Not Counted");
+        assert_eq!(token_passes(), before);
     }
 
     #[test]

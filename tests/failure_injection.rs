@@ -139,6 +139,58 @@ fn dead_origin_cannot_search_or_publish_visibly() {
 }
 
 #[test]
+fn mid_write_crash_loses_nothing_acknowledged() {
+    // the durability failure mode: the servent's local store dies mid
+    // write (power cut, disk full) — every acknowledged publish must
+    // survive recovery, and the torn tail must vanish without a panic
+    use up2p::store::{DurableOptions, DurableRepository, FailFs};
+    let community = pattern_community();
+    let mut servent = Servent::new(PeerId(0));
+    servent.join(community.clone());
+    let paths = vec!["pattern/name".to_string(), "pattern/category".to_string()];
+    let objects: Vec<_> = GOF_PATTERNS[..8]
+        .iter()
+        .map(|p| servent.create_object(&community.id, &pattern_values(p)).unwrap())
+        .collect();
+
+    let dir = std::env::temp_dir()
+        .join(format!("up2p-facade-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // budget chosen to die partway through the workload
+    let fs = FailFs::new(4_000);
+    let mut store = DurableRepository::open_with_fs(
+        Box::new(fs.clone()),
+        &dir,
+        DurableOptions::default(),
+    )
+    .unwrap();
+    let mut acked = Vec::new();
+    for obj in &objects {
+        match store.publish_xml(&community.id, &obj.xml(), &paths) {
+            Ok(id) => acked.push(id),
+            Err(_) => break,
+        }
+    }
+    assert!(fs.is_dead(), "budget must be exhausted mid-workload");
+    assert!(!acked.is_empty() && acked.len() < objects.len(), "crash landed mid-workload");
+    drop(store);
+
+    let (recovered, report) = DurableRepository::recover(&dir).unwrap();
+    for id in &acked {
+        assert!(recovered.contains(id), "acknowledged publish {id} lost");
+    }
+    assert!(recovered.len() <= acked.len() + 1, "at most the one torn record extra");
+    assert!(
+        report.wal_records >= acked.len(),
+        "replay covers every acknowledged record"
+    );
+    // the recovered index serves queries over the surviving objects
+    let hits = recovered.search(Some(&community.id), &Query::All);
+    assert_eq!(hits.len(), recovered.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn orphaned_superpeer_leaves_recover_when_super_returns() {
     use up2p::net::{SuperPeerConfig, SuperPeerNetwork};
     let mut net = SuperPeerNetwork::new(
